@@ -1,0 +1,114 @@
+// Command teamnet-bench regenerates the paper's evaluation artifacts: every
+// table and figure of Section VI plus the ablation studies, using the
+// methodology documented in DESIGN.md (real training on the synthetic
+// datasets for accuracy, the edgesim cost model over real FLOP and byte
+// counts for latency and resources).
+//
+// Examples:
+//
+//	teamnet-bench -list
+//	teamnet-bench -experiment table1a
+//	teamnet-bench -all -scale full > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teamnet-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "", "experiment id to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment, paper order")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		scaleName  = flag.String("scale", "quick", "training scale: quick or full")
+		format     = flag.String("format", "text", "output format: text or csv")
+		plotsDir   = flag.String("plots", "", "also write SVG figures into this directory")
+		seed       = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Printf("%-22s %s\n", id, bench.Describe(id))
+		}
+		return nil
+	}
+
+	scale := bench.Quick
+	switch *scaleName {
+	case "quick":
+	case "full":
+		scale = bench.Full
+	default:
+		return fmt.Errorf("unknown scale %q (quick or full)", *scaleName)
+	}
+	lab := bench.NewLab(bench.Options{Scale: scale, Seed: *seed})
+
+	ids := bench.IDs()
+	if !*all {
+		if *experiment == "" {
+			return fmt.Errorf("pass -experiment <id>, -all, or -list")
+		}
+		ids = []string{*experiment}
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (text or csv)", *format)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := bench.Run(lab, id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *plotsDir != "" {
+			if err := writePlots(*plotsDir, id, res); err != nil {
+				return err
+			}
+		}
+		if *format == "csv" {
+			c, ok := res.(bench.CSVer)
+			if !ok {
+				return fmt.Errorf("%s: result has no CSV form", id)
+			}
+			fmt.Printf("# %s\n%s\n", id, c.CSV())
+			continue
+		}
+		fmt.Printf("### %s (%s, %v)\n%s\n", id, bench.Describe(id), time.Since(start).Round(time.Millisecond), res)
+	}
+	return nil
+}
+
+// writePlots renders a result's SVG figures into dir.
+func writePlots(dir, id string, res bench.Result) error {
+	p, ok := res.(bench.Plotter)
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create plots dir: %w", err)
+	}
+	for suffix, svg := range p.Plots() {
+		name := id
+		if suffix != "" {
+			name += "-" + suffix
+		}
+		path := filepath.Join(dir, name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	return nil
+}

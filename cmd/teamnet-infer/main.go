@@ -1,0 +1,117 @@
+// Command teamnet-infer is the master role of Figure 1(d): it connects to
+// teamnet-node workers, optionally serves one expert itself, and runs
+// collaborative inference on freshly generated test data, reporting
+// accuracy and the live round-trip latency distribution.
+//
+// Example (against two local nodes serving experts 1 and 2 of a K=2 team,
+// with the master holding expert 0... for K=2 simply):
+//
+//	teamnet-infer -team team.tnet -local 0 -peers 127.0.0.1:7001 -dataset digits -queries 200
+//
+// It can also run the bully leader election against the peer set:
+//
+//	teamnet-infer -elect -id 9 -peers 127.0.0.1:7001,127.0.0.1:7002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/cli"
+	"github.com/teamnet/teamnet/internal/cluster"
+	"github.com/teamnet/teamnet/internal/core"
+	"github.com/teamnet/teamnet/internal/metrics"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teamnet-infer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		teamPath = flag.String("team", "team.tnet", "team bundle from teamnet-train")
+		local    = flag.Int("local", -1, "expert index to run locally (-1 = coordinator only)")
+		peers    = flag.String("peers", "", "comma-separated worker addresses")
+		dsName   = flag.String("dataset", "digits", "dataset: digits or objects")
+		size     = flag.Int("size", 0, "image edge length (0 = dataset default)")
+		queries  = flag.Int("queries", 100, "number of single-sample inferences")
+		seed     = flag.Int64("seed", 99, "seed for the query stream")
+		elect    = flag.Bool("elect", false, "run leader election and exit")
+		id       = flag.Int("id", 0, "this node's election identity")
+	)
+	flag.Parse()
+
+	peerAddrs := cli.SplitList(*peers)
+	if *elect {
+		isLeader, leaderID, err := cluster.ElectLeader(*id, peerAddrs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("election: leader id %d (this node leads: %v)\n", leaderID, isLeader)
+		return nil
+	}
+
+	f, err := os.Open(*teamPath)
+	if err != nil {
+		return fmt.Errorf("open bundle: %w", err)
+	}
+	team, err := core.LoadTeam(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load bundle: %w", err)
+	}
+
+	var localExpert *nn.Network
+	if *local >= 0 {
+		if *local >= team.K() {
+			return fmt.Errorf("local expert %d out of range [0, %d)", *local, team.K())
+		}
+		localExpert = team.Experts[*local]
+	}
+	master := cluster.NewMaster(localExpert, team.Classes)
+	defer master.Close()
+	for _, addr := range peerAddrs {
+		if err := master.Connect(addr); err != nil {
+			return err
+		}
+	}
+	if err := master.Ping(); err != nil {
+		return err
+	}
+	fmt.Printf("connected to %d peer(s); local expert: %v\n", master.Peers(), *local >= 0)
+
+	ds, err := cli.BuildDataset(*dsName, *queries, *size, *seed)
+	if err != nil {
+		return err
+	}
+
+	var lat metrics.Summary
+	winnerCount := make(map[int]int)
+	allProbs := tensor.New(ds.Len(), ds.Classes)
+	for i := 0; i < ds.Len(); i++ {
+		x := ds.X.SelectRows([]int{i})
+		start := time.Now()
+		probs, winners, err := master.Infer(x)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		lat.Observe(time.Since(start))
+		copy(allProbs.RowSlice(i), probs.RowSlice(0))
+		winnerCount[winners[0]]++
+	}
+	eval, err := core.Evaluate(allProbs, ds.Y, ds.ClassNames)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval)
+	fmt.Printf("latency: %s\n", lat.String())
+	fmt.Printf("winning node histogram: %v\n", winnerCount)
+	return nil
+}

@@ -1,0 +1,156 @@
+// Command teamnet-moe operates the SG-MoE baseline end-to-end, in parity
+// with the teamnet-train/node/infer trio: train a sparsely-gated mixture of
+// experts, serve one expert as an RPC node (the SG-MoE-G deployment), or
+// run the gate-then-dispatch master against a set of expert nodes.
+//
+//	teamnet-moe -mode train -dataset digits -k 2 -out moe.tnet
+//	teamnet-moe -mode node  -model moe.tnet -expert 1 -listen :7101
+//	teamnet-moe -mode infer -model moe.tnet -peers :7100,:7101 -queries 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/cli"
+	"github.com/teamnet/teamnet/internal/cluster"
+	"github.com/teamnet/teamnet/internal/metrics"
+	"github.com/teamnet/teamnet/internal/moe"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teamnet-moe:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode      = flag.String("mode", "train", "train, node or infer")
+		dsName    = flag.String("dataset", "digits", "dataset: digits or objects")
+		n         = flag.Int("n", 2000, "dataset size (train mode)")
+		size      = flag.Int("size", 0, "image edge length (0 = dataset default)")
+		k         = flag.Int("k", 2, "number of experts (train mode)")
+		topK      = flag.Int("topk", 2, "experts kept per sample")
+		epochs    = flag.Int("epochs", 15, "training epochs")
+		batch     = flag.Int("batch", 50, "mini-batch size")
+		lr        = flag.Float64("lr", 0.002, "learning rate")
+		seed      = flag.Int64("seed", 42, "random seed")
+		modelPath = flag.String("model", "moe.tnet", "model bundle path")
+		expert    = flag.Int("expert", 0, "which expert to serve (node mode)")
+		listen    = flag.String("listen", "127.0.0.1:7101", "listen address (node mode)")
+		peers     = flag.String("peers", "", "expert node addresses in expert order (infer mode)")
+		queries   = flag.Int("queries", 100, "inference count (infer mode)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "train":
+		return trainMode(*dsName, *n, *size, *k, *topK, *epochs, *batch, *lr, *seed, *modelPath)
+	case "node":
+		return nodeMode(*modelPath, *expert, *listen)
+	case "infer":
+		return inferMode(*modelPath, *dsName, *queries, *size, *seed, cli.SplitList(*peers))
+	default:
+		return fmt.Errorf("unknown mode %q (train, node or infer)", *mode)
+	}
+}
+
+func trainMode(dsName string, n, size, k, topK, epochs, batch int, lr float64, seed int64, out string) error {
+	ds, err := cli.BuildDataset(dsName, n, size, seed)
+	if err != nil {
+		return err
+	}
+	spec, err := cli.ExpertSpec(ds, k)
+	if err != nil {
+		return err
+	}
+	train, test := ds.Split(0.85, tensor.NewRNG(seed+1))
+	model, err := moe.Train(moe.Config{
+		K: k, TopK: topK, ExpertSpec: spec,
+		Epochs: epochs, BatchSize: batch, LR: lr, Seed: seed,
+	}, train)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SG-MoE accuracy: %.2f%%  gate usage entropy: %.3f nats\n",
+		100*model.Accuracy(test.X, test.Y), model.AssignmentEntropy(test.X))
+	f, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", out, err)
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d experts, top-%d gating)\n", out, model.K(), model.Cfg.TopK)
+	return nil
+}
+
+func loadModel(path string) (*moe.SGMoE, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open bundle: %w", err)
+	}
+	defer f.Close()
+	return moe.Load(f)
+}
+
+func nodeMode(path string, expert int, listen string) error {
+	model, err := loadModel(path)
+	if err != nil {
+		return err
+	}
+	if expert < 0 || expert >= model.K() {
+		return fmt.Errorf("expert %d out of range [0, %d)", expert, model.K())
+	}
+	addr, srv, err := cluster.ServeMoEExpert(model.Experts[expert], listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving SG-MoE expert %d/%d on %s (RPC)\n", expert, model.K(), addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return srv.Close()
+}
+
+func inferMode(path, dsName string, queries, size int, seed int64, peers []string) error {
+	model, err := loadModel(path)
+	if err != nil {
+		return err
+	}
+	master, err := cluster.NewMoEMaster(model, peers)
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+	ds, err := cli.BuildDataset(dsName, queries, size, seed+7)
+	if err != nil {
+		return err
+	}
+	var lat metrics.Summary
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		x := ds.X.SelectRows([]int{i})
+		start := time.Now()
+		probs, err := master.Infer(x)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		lat.Observe(time.Since(start))
+		if probs.Row(0).ArgMax() == ds.Y[i] {
+			correct++
+		}
+	}
+	fmt.Printf("accuracy: %.2f%% over %d queries\n", 100*float64(correct)/float64(ds.Len()), ds.Len())
+	fmt.Printf("latency: %s\n", lat.String())
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command teamnet-node serves one expert of a trained team over raw TCP —
+// the worker role of the paper's Figure 1(d). Run one node per edge device
+// (or per port, locally), then point teamnet-infer at them.
+//
+// Example:
+//
+//	teamnet-node -team team.tnet -expert 1 -listen :7001 -id 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/teamnet/teamnet/internal/cluster"
+	"github.com/teamnet/teamnet/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teamnet-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		teamPath = flag.String("team", "team.tnet", "team bundle from teamnet-train")
+		expert   = flag.Int("expert", 0, "which expert of the bundle to serve")
+		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
+		id       = flag.Int("id", 0, "election identity (unique per node; higher wins)")
+		replicas = flag.Int("replicas", 1, "expert replicas for concurrent serving")
+	)
+	flag.Parse()
+	if *replicas < 1 {
+		return fmt.Errorf("replicas must be ≥ 1")
+	}
+
+	f, err := os.Open(*teamPath)
+	if err != nil {
+		return fmt.Errorf("open bundle: %w", err)
+	}
+	team, err := core.LoadTeam(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load bundle: %w", err)
+	}
+	if *expert < 0 || *expert >= team.K() {
+		return fmt.Errorf("expert %d out of range [0, %d)", *expert, team.K())
+	}
+
+	pool, err := team.CloneExpert(*expert, *replicas)
+	if err != nil {
+		return err
+	}
+	worker := cluster.NewWorkerPool(pool, *id)
+	addr, err := worker.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving expert %d/%d (%s, %d replica(s)) on %s, election id %d\n",
+		*expert, team.K(), team.Spec.Label(), *replicas, addr, *id)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return worker.Close()
+}

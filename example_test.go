@@ -1,0 +1,35 @@
+package teamnet_test
+
+import (
+	"fmt"
+
+	"github.com/teamnet/teamnet"
+)
+
+// Example demonstrates the core flow: generate data, train a two-expert
+// TeamNet by competitive learning, and classify with the arg-min-entropy
+// combiner. Everything is seeded, so the output is reproducible.
+func Example() {
+	ds := teamnet.Digits(teamnet.DigitsConfig{N: 300, H: 12, W: 12, Seed: 1})
+	train, test := ds.Split(0.8, teamnet.NewRNG(2))
+
+	spec, err := teamnet.DigitsExpert(2, ds.Features(), ds.Classes)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	trainer, err := teamnet.NewTrainer(teamnet.Config{
+		K: 2, ExpertSpec: spec, Epochs: 25, BatchSize: 40, ExpertLR: 0.05, Seed: 3,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	team, _ := trainer.Train(train)
+
+	fmt.Printf("experts: %d\n", team.K())
+	fmt.Printf("accuracy above 90%%: %v\n", team.Accuracy(test.X, test.Y) > 0.9)
+	// Output:
+	// experts: 2
+	// accuracy above 90%: true
+}

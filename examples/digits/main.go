@@ -1,0 +1,82 @@
+// Digits: the paper's Section VI-C scenario — compare the monolithic MLP-8
+// baseline against TeamNet with two (2×MLP-4) and four (4×MLP-2) experts on
+// handwritten-digit recognition: accuracy, per-device model size, and the
+// convergence of the competitive partition (Figures 5 and 6).
+//
+//	go run ./examples/digits
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/teamnet/teamnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "digits:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ds := teamnet.Digits(teamnet.DigitsConfig{N: 1500, H: 14, W: 14, Seed: 3})
+	train, test := ds.Split(0.85, teamnet.NewRNG(4))
+
+	// Baseline: one deep MLP on one device.
+	baseSpec := teamnet.Spec{Kind: "mlp", MLP: &teamnet.MLPSpec{
+		Label: "MLP-8", Input: ds.Features(), Width: 64, Layers: 8, Classes: ds.Classes,
+	}}
+	baseline, err := baseSpec.Build(teamnet.NewRNG(5))
+	if err != nil {
+		return err
+	}
+	teamnet.TrainClassifier(baseline, train, 15, 64, 0.002, 6)
+	fmt.Printf("%-10s accuracy %.2f%%  model %6.1f KiB/device\n",
+		baseline.Label(), 100*baseline.Accuracy(test.X, test.Y), float64(baseline.SizeBytes())/1024)
+
+	// TeamNet with two and four experts: smaller model per device,
+	// collaborative arg-min inference, accuracy preserved.
+	for _, k := range []int{2, 4} {
+		spec, err := digitExpert(k, ds.Features(), ds.Classes)
+		if err != nil {
+			return err
+		}
+		trainer, err := teamnet.NewTrainer(teamnet.Config{
+			K: k, ExpertSpec: spec,
+			Epochs: 30, BatchSize: 50, ExpertLR: 0.05, Seed: int64(10 + k),
+		})
+		if err != nil {
+			return err
+		}
+		team, hist := trainer.Train(train)
+		expertBytes := team.Experts[0].SizeBytes()
+		fmt.Printf("%dx%-8s accuracy %.2f%%  model %6.1f KiB/device  cumulative shares %.3f\n",
+			k, spec.Label(), 100*team.Accuracy(test.X, test.Y),
+			float64(expertBytes)/1024, hist.FinalCumulative())
+
+		// The Figure 6 view: has the partition reached the set point band?
+		if it := hist.ConvergedWithin(0.1); it >= 0 {
+			fmt.Printf("           cumulative share within ±0.1 of 1/%d from iteration %d\n", k, it)
+		}
+	}
+	return nil
+}
+
+// digitExpert mirrors the paper's downsizing: MLP-4 for two experts, MLP-2
+// for four, at this example's training width.
+func digitExpert(k, input, classes int) (teamnet.Spec, error) {
+	switch k {
+	case 2:
+		return teamnet.Spec{Kind: "mlp", MLP: &teamnet.MLPSpec{
+			Label: "MLP-4", Input: input, Width: 48, Layers: 4, Classes: classes,
+		}}, nil
+	case 4:
+		return teamnet.Spec{Kind: "mlp", MLP: &teamnet.MLPSpec{
+			Label: "MLP-2", Input: input, Width: 32, Layers: 2, Classes: classes,
+		}}, nil
+	default:
+		return teamnet.Spec{}, fmt.Errorf("k must be 2 or 4, got %d", k)
+	}
+}

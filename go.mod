@@ -1,0 +1,3 @@
+module github.com/teamnet/teamnet
+
+go 1.22

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CSV rendering: every experiment result also exports as RFC-4180-ish CSV
+// so downstream plotting (the figures are line/bar plots in the paper) can
+// consume the harness output directly. cmd/teamnet-bench exposes it via
+// -format csv.
+
+// CSVer is a Result that can render itself as CSV.
+type CSVer interface {
+	CSV() string
+}
+
+var (
+	_ CSVer = (*Table)(nil)
+	_ CSVer = (*Series)(nil)
+	_ CSVer = (*Matrix)(nil)
+)
+
+// CSV renders the table with systems as rows and metrics as columns.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	cols := []string{"system", "nodes", "accuracy_pct", "inference_ms", "memory_pct", "cpu_pct"}
+	if t.GPU {
+		cols = append(cols, "gpu_pct")
+	}
+	writeCSVRow(&b, cols)
+	for _, r := range t.Rows {
+		row := []string{
+			r.System,
+			strconv.Itoa(r.Nodes),
+			csvFloat(r.AccuracyPct),
+			csvFloat(r.InferenceMs),
+			csvFloat(r.MemoryPct),
+			csvFloat(r.CPUPct),
+		}
+		if t.GPU {
+			row = append(row, csvFloat(r.GPUPct))
+		}
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+// CSV renders the series with the x value first and one column per curve.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, append([]string{s.XLabel}, s.Labels...))
+	for i, x := range s.X {
+		row := []string{csvFloat(x)}
+		for c := range s.Labels {
+			row = append(row, csvFloat(s.Y[c][i]))
+		}
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+// CSV renders the matrix with row names in the first column.
+func (m *Matrix) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, append([]string{""}, m.ColNames...))
+	for i, name := range m.RowNames {
+		row := []string{name}
+		for _, v := range m.Values[i] {
+			row = append(row, csvFloat(v))
+		}
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func csvFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// writeCSVRow quotes fields containing separators or quotes.
+func writeCSVRow(b *strings.Builder, fields []string) {
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(f, ",\"\n") {
+			fmt.Fprintf(b, "%q", f)
+		} else {
+			b.WriteString(f)
+		}
+	}
+	b.WriteByte('\n')
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/teamnet/teamnet/internal/plot"
+)
+
+// Plotter is a Result that can render itself as one or more SVG figures.
+// Keys are file-name suffixes ("" for the primary figure).
+type Plotter interface {
+	Plots() map[string]string
+}
+
+var (
+	_ Plotter = (*Table)(nil)
+	_ Plotter = (*Series)(nil)
+	_ Plotter = (*Matrix)(nil)
+)
+
+// Plots renders one grouped bar chart per metric, since the metrics use
+// different units (the paper's Figure 5/7 panels).
+func (t *Table) Plots() map[string]string {
+	groups := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		if r.Nodes > 1 {
+			groups[i] = fmt.Sprintf("%s x%d", r.System, r.Nodes)
+		} else {
+			groups[i] = r.System
+		}
+	}
+	metrics := []struct {
+		key, label string
+		get        func(Row) float64
+	}{
+		{"accuracy", "Accuracy (%)", func(r Row) float64 { return r.AccuracyPct }},
+		{"latency", "Inference time (ms)", func(r Row) float64 { return r.InferenceMs }},
+		{"memory", "Memory usage (%)", func(r Row) float64 { return r.MemoryPct }},
+		{"cpu", "CPU usage (%)", func(r Row) float64 { return r.CPUPct }},
+	}
+	if t.GPU {
+		metrics = append(metrics, struct {
+			key, label string
+			get        func(Row) float64
+		}{"gpu", "GPU usage (%)", func(r Row) float64 { return r.GPUPct }})
+	}
+	out := make(map[string]string, len(metrics))
+	for _, m := range metrics {
+		vals := make([]float64, len(t.Rows))
+		for i, r := range t.Rows {
+			vals[i] = m.get(r)
+		}
+		out[m.key] = plot.Bars(
+			fmt.Sprintf("%s — %s", t.ID, m.label),
+			m.label, groups, []string{m.label}, [][]float64{vals})
+	}
+	return out
+}
+
+// Plots renders the series as a single line chart (the convergence
+// figures).
+func (s *Series) Plots() map[string]string {
+	return map[string]string{
+		"": plot.Lines(fmt.Sprintf("%s — %s", s.ID, s.Title), s.XLabel, "data share", s.X, s.Labels, s.Y),
+	}
+}
+
+// Plots renders the matrix as a heat map. Columns whose values exceed 1 are
+// normalized per column so mixed-unit ablation matrices stay readable.
+func (m *Matrix) Plots() map[string]string {
+	vals := make([][]float64, len(m.Values))
+	normalize := false
+	for _, row := range m.Values {
+		for _, v := range row {
+			if v > 1 {
+				normalize = true
+			}
+		}
+	}
+	if normalize {
+		colMax := make([]float64, len(m.ColNames))
+		for _, row := range m.Values {
+			for c, v := range row {
+				if v > colMax[c] {
+					colMax[c] = v
+				}
+			}
+		}
+		for r, row := range m.Values {
+			vals[r] = make([]float64, len(row))
+			for c, v := range row {
+				if colMax[c] > 0 {
+					vals[r][c] = v / colMax[c]
+				}
+			}
+		}
+	} else {
+		for r, row := range m.Values {
+			vals[r] = append([]float64(nil), row...)
+		}
+	}
+	title := m.ID + " — " + m.Title
+	if normalize {
+		title += " (per-column normalized)"
+	}
+	return map[string]string{
+		"": plot.Heatmap(title, m.RowNames, m.ColNames, vals),
+	}
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTablePlotsOneChartPerMetric(t *testing.T) {
+	tbl := &Table{ID: "t", GPU: true, Rows: []Row{
+		{System: "Baseline", Nodes: 1, AccuracyPct: 97, InferenceMs: 3.4, MemoryPct: 8, CPUPct: 55, GPUPct: 5},
+		{System: "TeamNet", Nodes: 2, AccuracyPct: 98, InferenceMs: 2.0, MemoryPct: 6, CPUPct: 31, GPUPct: 4},
+	}}
+	plots := tbl.Plots()
+	for _, key := range []string{"accuracy", "latency", "memory", "cpu", "gpu"} {
+		svg, ok := plots[key]
+		if !ok {
+			t.Fatalf("missing %s chart", key)
+		}
+		if !strings.HasPrefix(svg, "<svg") {
+			t.Fatalf("%s: not svg", key)
+		}
+		if !strings.Contains(svg, "TeamNet x2") {
+			t.Fatalf("%s: group label missing", key)
+		}
+	}
+	noGPU := &Table{ID: "t", Rows: tbl.Rows}
+	if _, ok := noGPU.Plots()["gpu"]; ok {
+		t.Fatal("gpu chart present for CPU-only table")
+	}
+}
+
+func TestSeriesPlots(t *testing.T) {
+	s := &Series{ID: "fig6a", Title: "conv", XLabel: "iteration",
+		Labels: []string{"e1"}, X: []float64{0, 1}, Y: [][]float64{{0.4, 0.5}}}
+	plots := s.Plots()
+	if len(plots) != 1 || !strings.Contains(plots[""], "polyline") {
+		t.Fatal("series plot missing")
+	}
+}
+
+func TestMatrixPlotsNormalization(t *testing.T) {
+	// Values in [0,1]: rendered as-is.
+	m := &Matrix{ID: "fig9a", Title: "spec",
+		RowNames: []string{"e1"}, ColNames: []string{"c1"},
+		Values: [][]float64{{0.5}}}
+	svg := m.Plots()[""]
+	if !strings.Contains(svg, "0.50") {
+		t.Fatal("raw value missing")
+	}
+	if strings.Contains(svg, "normalized") {
+		t.Fatal("unexpected normalization for [0,1] data")
+	}
+	// Mixed-unit ablation matrix: per-column normalization kicks in.
+	m2 := &Matrix{ID: "abl", Title: "mixed",
+		RowNames: []string{"a", "b"}, ColNames: []string{"ms"},
+		Values: [][]float64{{100}, {50}}}
+	svg2 := m2.Plots()[""]
+	if !strings.Contains(svg2, "normalized") {
+		t.Fatal("normalization note missing")
+	}
+	if !strings.Contains(svg2, "1.00") || !strings.Contains(svg2, "0.50") {
+		t.Fatal("normalized values wrong")
+	}
+}

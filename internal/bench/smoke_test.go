@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmokeAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness smoke")
+	}
+	// A sub-Quick preset: every experiment driver runs end-to-end, with
+	// training small enough for CI. The result *shapes* at real scale are
+	// asserted by the cost-model tests and recorded in EXPERIMENTS.md.
+	l := newLabWithPreset(DefaultOptions(), preset{
+		digitsN: 400, digitsHW: 12, digitsEpochs: 4, teamDigitsEpochs: 8,
+		digitsBaseWidth: 48, digitsExpertWidth2: 32, digitsExpertWidth4: 24,
+		objectsN: 250, objectsHW: 12, objectsEpochs: 2, teamObjectsEpochs: 3,
+	})
+	for _, id := range IDs() {
+		start := time.Now()
+		res, err := Run(l, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Logf("%s (%v):\n%s", id, time.Since(start).Round(time.Millisecond), res)
+	}
+}

@@ -1,0 +1,75 @@
+// Package cli holds the small helpers the command-line tools share:
+// dataset construction from flag values and list parsing. Keeping them in
+// one tested package stops the cmd mains from drifting apart.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/teamnet/teamnet/internal/dataset"
+	"github.com/teamnet/teamnet/internal/nn"
+)
+
+// BuildDataset constructs the named synthetic dataset. size == 0 keeps the
+// dataset's default geometry.
+func BuildDataset(name string, n, size int, seed int64) (*dataset.Dataset, error) {
+	switch name {
+	case "digits":
+		cfg := dataset.DigitsConfig{N: n, Seed: seed}
+		if size > 0 {
+			cfg.H, cfg.W = size, size
+		}
+		return dataset.Digits(cfg), nil
+	case "objects":
+		cfg := dataset.ObjectsConfig{N: n, Seed: seed}
+		if size > 0 {
+			cfg.H, cfg.W = size, size
+		}
+		return dataset.Objects(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (digits or objects)", name)
+	}
+}
+
+// LoadReal loads a real dataset from user-supplied files: "mnist" takes
+// [images, labels] (IDX, optionally gzipped), "cifar10" takes one or more
+// binary batch files. maxN > 0 truncates.
+func LoadReal(name string, files []string, maxN int) (*dataset.Dataset, error) {
+	switch name {
+	case "mnist":
+		if len(files) != 2 {
+			return nil, fmt.Errorf("mnist needs exactly 2 files (images, labels), got %d", len(files))
+		}
+		return dataset.LoadMNIST(files[0], files[1], maxN)
+	case "cifar10":
+		return dataset.LoadCIFAR10(files, maxN)
+	default:
+		return nil, fmt.Errorf("unknown real dataset %q (mnist or cifar10)", name)
+	}
+}
+
+// ExpertSpec returns the paper's per-expert architecture for the named
+// dataset at the dataset's geometry.
+func ExpertSpec(ds *dataset.Dataset, k int) (nn.Spec, error) {
+	switch ds.Name {
+	case "synth-digits", "mnist":
+		return nn.DigitsExpert(k, ds.Features(), ds.Classes)
+	case "synth-objects", "cifar10":
+		return nn.ObjectsExpert(k, ds.C, ds.H, ds.W, ds.Classes)
+	default:
+		return nn.Spec{}, fmt.Errorf("no expert family for dataset %q", ds.Name)
+	}
+}
+
+// SplitList splits a comma-separated flag value, dropping empty entries and
+// trimming whitespace.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

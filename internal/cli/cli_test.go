@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestBuildDatasetDigits(t *testing.T) {
+	ds, err := BuildDataset("digits", 20, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 20 || ds.H != 28 || ds.C != 1 {
+		t.Fatalf("digits defaults wrong: len=%d h=%d c=%d", ds.Len(), ds.H, ds.C)
+	}
+	ds, err = BuildDataset("digits", 10, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.H != 14 || ds.W != 14 {
+		t.Fatalf("size override ignored: %dx%d", ds.H, ds.W)
+	}
+}
+
+func TestBuildDatasetObjects(t *testing.T) {
+	ds, err := BuildDataset("objects", 10, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.C != 3 || ds.H != 16 {
+		t.Fatalf("objects geometry wrong: c=%d h=%d", ds.C, ds.H)
+	}
+}
+
+func TestBuildDatasetUnknown(t *testing.T) {
+	if _, err := BuildDataset("cifar100", 10, 0, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestExpertSpecPerDataset(t *testing.T) {
+	digits, err := BuildDataset("digits", 10, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ExpertSpec(digits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "mlp" || spec.MLP.Input != 196 {
+		t.Fatalf("digit expert spec wrong: %+v", spec)
+	}
+	objects, err := BuildDataset("objects", 10, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err = ExpertSpec(objects, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "shake" || spec.Shake.InH != 16 {
+		t.Fatalf("object expert spec wrong: %+v", spec)
+	}
+	if _, err := ExpertSpec(digits, 3); err == nil {
+		t.Fatal("K=3 accepted")
+	}
+	digits.Name = "other"
+	if _, err := ExpertSpec(digits, 2); err == nil {
+		t.Fatal("unknown dataset family accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a, b ,c", []string{"a", "b", "c"}},
+		{",,a,,", []string{"a"}},
+	}
+	for _, c := range cases {
+		if got := SplitList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLoadRealMNIST(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-rolled 2-sample 2×2 IDX pair.
+	images := []byte{0, 0, 0x08, 3, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 2,
+		10, 20, 30, 40, 50, 60, 70, 80}
+	labels := []byte{0, 0, 0x08, 1, 0, 0, 0, 2, 7, 3}
+	imgPath := filepath.Join(dir, "imgs")
+	labPath := filepath.Join(dir, "labs")
+	if err := os.WriteFile(imgPath, images, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(labPath, labels, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadReal("mnist", []string{imgPath, labPath}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Y[0] != 7 || ds.Y[1] != 3 {
+		t.Fatalf("loaded mnist wrong: len=%d y=%v", ds.Len(), ds.Y)
+	}
+	// Real datasets must map to the paper's expert families too.
+	if _, err := ExpertSpec(ds, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong file counts and names rejected.
+	if _, err := LoadReal("mnist", []string{imgPath}, 0); err == nil {
+		t.Fatal("single-file mnist accepted")
+	}
+	if _, err := LoadReal("svhn", nil, 0); err == nil {
+		t.Fatal("unknown real dataset accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Adaptive (early-exit) inference: an extension beyond the paper, inspired
+// by the DDNN line of work it cites ("if the classification could not be
+// made due to low confidence, the task is escalated"). The master consults
+// its local expert first and only broadcasts to the team when the local
+// predictive entropy exceeds a threshold — trading a small accuracy risk
+// for skipping the WiFi round trip on confident samples. With threshold 0
+// it degenerates to the paper's always-broadcast protocol; with threshold
+// ln(C) it never broadcasts.
+
+// AdaptiveResult reports one adaptive inference.
+type AdaptiveResult struct {
+	Probs *tensor.Tensor
+	// Escalated marks samples that went to the team; the rest were
+	// answered locally.
+	Escalated []bool
+	// Winners holds the winning node per sample (0 = local expert),
+	// meaningful for escalated samples and 0 otherwise.
+	Winners []int
+}
+
+// InferAdaptive answers confident samples from the local expert and
+// escalates the rest to the full broadcast-gather protocol. It requires a
+// local expert.
+func (m *Master) InferAdaptive(x *tensor.Tensor, entropyThreshold float64) (AdaptiveResult, error) {
+	if m.local == nil {
+		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive inference requires a local expert")
+	}
+	batch := x.Shape[0]
+	probs, ent := m.local.PredictWithEntropy(x)
+	res := AdaptiveResult{
+		Probs:     probs.Clone(),
+		Escalated: make([]bool, batch),
+		Winners:   make([]int, batch),
+	}
+	var escalate []int
+	for b := 0; b < batch; b++ {
+		if ent.Data[b] > entropyThreshold {
+			escalate = append(escalate, b)
+			res.Escalated[b] = true
+		}
+	}
+	if len(escalate) == 0 {
+		return res, nil
+	}
+	sub := x.SelectRows(escalate)
+	teamProbs, winners, err := m.Infer(sub)
+	if err != nil {
+		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive escalation: %w", err)
+	}
+	for i, b := range escalate {
+		copy(res.Probs.RowSlice(b), teamProbs.RowSlice(i))
+		res.Winners[b] = winners[i]
+	}
+	return res, nil
+}
+
+// EscalationRate evaluates how often a threshold escalates on a sample set
+// — the knob the latency/accuracy trade-off turns on.
+func (m *Master) EscalationRate(x *tensor.Tensor, entropyThreshold float64) (float64, error) {
+	if m.local == nil {
+		return 0, fmt.Errorf("cluster: escalation rate requires a local expert")
+	}
+	_, ent := m.local.PredictWithEntropy(x)
+	n := 0
+	for _, h := range ent.Data {
+		if h > entropyThreshold {
+			n++
+		}
+	}
+	return float64(n) / float64(ent.Size()), nil
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func TestInferAdaptiveThresholdExtremes(t *testing.T) {
+	team, ds := trainSmallTeam(t)
+	worker := NewWorker(team.Experts[1], 1)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	master := NewMaster(team.Experts[0], 10)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	x := ds.X.SelectRows([]int{0, 1, 2, 3, 4, 5})
+
+	// Threshold ln(10): entropy can never exceed it → all local.
+	res, err := master.InferAdaptive(x, math.Log(10)+1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, esc := range res.Escalated {
+		if esc {
+			t.Fatalf("sample %d escalated at max threshold", b)
+		}
+	}
+	local := team.Experts[0].Predict(x)
+	if !res.Probs.AllClose(local, 1e-12) {
+		t.Fatal("all-local adaptive answer differs from local expert")
+	}
+
+	// Threshold below 0: everything escalates → identical to full Infer.
+	res, err = master.InferAdaptive(x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProbs, wantWinners := team.Predict(x)
+	for b, esc := range res.Escalated {
+		if !esc {
+			t.Fatalf("sample %d not escalated at threshold -1", b)
+		}
+		if res.Winners[b] != wantWinners[b] {
+			t.Fatalf("sample %d winner %d != %d", b, res.Winners[b], wantWinners[b])
+		}
+	}
+	if !res.Probs.AllClose(wantProbs, 1e-4) {
+		t.Fatal("all-escalated adaptive answer differs from team inference")
+	}
+}
+
+func TestInferAdaptiveMixedBatch(t *testing.T) {
+	team, ds := trainSmallTeam(t)
+	worker := NewWorker(team.Experts[1], 1)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	master := NewMaster(team.Experts[0], 10)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	x := ds.X.SelectRows([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	// Pick a mid threshold that splits the batch; find it from the local
+	// expert's entropy distribution.
+	_, ent := team.Experts[0].PredictWithEntropy(x)
+	med := append([]float64(nil), ent.Data...)
+	// crude median
+	for i := range med {
+		for j := i + 1; j < len(med); j++ {
+			if med[j] < med[i] {
+				med[i], med[j] = med[j], med[i]
+			}
+		}
+	}
+	threshold := med[len(med)/2]
+
+	res, err := master.InferAdaptive(x, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc := 0
+	for b := range res.Escalated {
+		if res.Escalated[b] {
+			esc++
+		} else {
+			// Non-escalated rows must be the local expert's answer.
+			want := team.Experts[0].Predict(x.SelectRows([]int{b}))
+			if !res.Probs.Row(b).AllClose(want.Row(0), 1e-12) {
+				t.Fatalf("local row %d altered", b)
+			}
+		}
+	}
+	if esc == 0 || esc == 10 {
+		t.Fatalf("median threshold escalated %d/10; expected a mix", esc)
+	}
+	rate, err := master.EscalationRate(x, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-float64(esc)/10) > 1e-12 {
+		t.Fatalf("EscalationRate %v != observed %v", rate, float64(esc)/10)
+	}
+}
+
+func TestInferAdaptiveRequiresLocalExpert(t *testing.T) {
+	master := NewMaster(nil, 10)
+	defer master.Close()
+	if _, err := master.InferAdaptive(tensor.New(1, 4), 0.5); err == nil {
+		t.Fatal("adaptive inference without local expert accepted")
+	}
+	if _, err := master.EscalationRate(tensor.New(1, 4), 0.5); err == nil {
+		t.Fatal("escalation rate without local expert accepted")
+	}
+}

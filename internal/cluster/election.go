@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// Bully leader election — the distributed option for Figure 1(d) step 5
+// ("this last step can be done distributedly, e.g., using a leader election
+// protocol"). Every node has a distinct non-negative id; the reachable node
+// with the highest id is the leader and takes the master role.
+
+// ElectLeader runs one election round from this node's point of view: it
+// polls every peer, collects their ids, and returns the winning id and
+// whether this node won. Unreachable peers are treated as failed (the
+// bully rule: dead nodes lose).
+func ElectLeader(myID int, peerAddrs []string) (isLeader bool, leaderID int, err error) {
+	leaderID = myID
+	reachable := 0
+	for _, addr := range peerAddrs {
+		id, perr := probePeerID(addr)
+		if perr != nil {
+			continue // unreachable peer: excluded from the election
+		}
+		reachable++
+		if id > leaderID {
+			leaderID = id
+		}
+		if id == myID {
+			return false, 0, fmt.Errorf("cluster: duplicate election id %d at %s", myID, addr)
+		}
+	}
+	if len(peerAddrs) > 0 && reachable == 0 {
+		// Degenerate but legal: everyone else is down, we lead alone.
+		return true, myID, nil
+	}
+	return leaderID == myID, leaderID, nil
+}
+
+// probePeerID asks one worker for its election id.
+func probePeerID(addr string) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: election dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := transport.WriteFrame(conn, MsgElection, nil); err != nil {
+		return 0, fmt.Errorf("cluster: election send %s: %w", addr, err)
+	}
+	typ, payload, err := transport.ReadFrame(conn)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: election recv %s: %w", addr, err)
+	}
+	if typ != MsgElectionOK || len(payload) != 1 {
+		return 0, fmt.Errorf("cluster: election bad reply type %d from %s", typ, addr)
+	}
+	return int(payload[0]), nil
+}

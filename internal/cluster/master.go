@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// Master is the sensing node of Figure 1(d): it holds its own local expert,
+// broadcasts each input to all worker peers (step 2), runs its expert in
+// parallel with theirs (step 3), gathers results with uncertainties
+// (step 4) and selects the least-uncertain prediction (step 5).
+type Master struct {
+	local   *nn.Network // this node's expert; may be nil (pure coordinator)
+	classes int
+	timeout time.Duration // per-round-trip deadline; 0 = none
+
+	mu    sync.Mutex
+	peers []*peerConn
+}
+
+type peerConn struct {
+	addr    string
+	conn    net.Conn
+	timeout time.Duration
+	mu      sync.Mutex // one in-flight request per peer connection
+}
+
+// NewMaster returns a master with an optional local expert. classes is the
+// classifier width, needed to shape gathered results.
+func NewMaster(local *nn.Network, classes int) *Master {
+	return &Master{local: local, classes: classes}
+}
+
+// SetTimeout bounds every subsequent per-peer round trip. A worker that
+// exceeds the deadline fails that inference instead of wedging the master —
+// on a lossy edge network a bounded error beats an unbounded wait. Zero
+// disables the deadline. Affects peers connected before and after the call.
+func (m *Master) SetTimeout(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.timeout = d
+	for _, p := range m.peers {
+		p.mu.Lock()
+		p.timeout = d
+		p.mu.Unlock()
+	}
+}
+
+// Connect dials a worker and adds it to the broadcast set.
+func (m *Master) Connect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: master dial %s: %w", addr, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.peers = append(m.peers, &peerConn{addr: addr, conn: conn, timeout: m.timeout})
+	return nil
+}
+
+// Peers returns the number of connected workers.
+func (m *Master) Peers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.peers)
+}
+
+// Infer performs one collaborative inference on a batch: broadcast, parallel
+// local + remote prediction, gather, arg-min-entropy selection. It returns
+// the combined probabilities and, per sample, the index of the winning node
+// (0 = this node, 1.. = peers in connection order).
+func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
+	m.mu.Lock()
+	peers := append([]*peerConn(nil), m.peers...)
+	m.mu.Unlock()
+
+	batch := x.Shape[0]
+	nodes := len(peers)
+	localIdx := -1
+	if m.local != nil {
+		nodes++
+		localIdx = 0
+	}
+	if nodes == 0 {
+		return nil, nil, fmt.Errorf("cluster: master has neither local expert nor peers")
+	}
+
+	results := make([]PredictResult, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	payload := transport.EncodeTensor(x)
+
+	// Steps 2-4: broadcast and gather concurrently; the local expert runs
+	// in parallel with the network round trips.
+	for i, p := range peers {
+		slot := i
+		if localIdx == 0 {
+			slot = i + 1
+		}
+		wg.Add(1)
+		go func(p *peerConn, slot int) {
+			defer wg.Done()
+			res, err := p.roundTrip(payload)
+			results[slot], errs[slot] = res, err
+		}(p, slot)
+	}
+	if localIdx == 0 {
+		probs, ent := m.local.PredictWithEntropy(x)
+		results[0] = PredictResult{Probs: probs, Entropy: ent.Data}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+	}
+
+	// Step 5: per-sample arg-min over entropies.
+	combined := tensor.New(batch, m.classes)
+	winners := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		best, bi := results[0].Entropy[b], 0
+		for n := 1; n < nodes; n++ {
+			if results[n].Entropy[b] < best {
+				best, bi = results[n].Entropy[b], n
+			}
+		}
+		winners[b] = bi
+		copy(combined.RowSlice(b), results[bi].Probs.RowSlice(b))
+	}
+	return combined, winners, nil
+}
+
+// InferBestEffort is the degraded-mode variant of Infer for lossy edge
+// deployments: nodes that fail (or exceed the master's timeout) are
+// excluded from the arg-min instead of failing the whole inference. It
+// errors only when no node at all produced a result. The returned live
+// count reports how many nodes participated.
+func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winners []int, live int, err error) {
+	m.mu.Lock()
+	peers := append([]*peerConn(nil), m.peers...)
+	m.mu.Unlock()
+
+	batch := x.Shape[0]
+	nodes := len(peers)
+	localIdx := -1
+	if m.local != nil {
+		nodes++
+		localIdx = 0
+	}
+	if nodes == 0 {
+		return nil, nil, 0, fmt.Errorf("cluster: master has neither local expert nor peers")
+	}
+	results := make([]PredictResult, nodes)
+	ok := make([]bool, nodes)
+	var wg sync.WaitGroup
+	payload := transport.EncodeTensor(x)
+	for i, p := range peers {
+		slot := i
+		if localIdx == 0 {
+			slot = i + 1
+		}
+		wg.Add(1)
+		go func(p *peerConn, slot int) {
+			defer wg.Done()
+			res, rerr := p.roundTrip(payload)
+			if rerr == nil {
+				results[slot], ok[slot] = res, true
+			}
+		}(p, slot)
+	}
+	if localIdx == 0 {
+		pr, ent := m.local.PredictWithEntropy(x)
+		results[0], ok[0] = PredictResult{Probs: pr, Entropy: ent.Data}, true
+	}
+	wg.Wait()
+
+	for _, o := range ok {
+		if o {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil, nil, 0, fmt.Errorf("cluster: no node answered")
+	}
+	probs = tensor.New(batch, m.classes)
+	winners = make([]int, batch)
+	for b := 0; b < batch; b++ {
+		bi := -1
+		best := 0.0
+		for n := 0; n < nodes; n++ {
+			if !ok[n] {
+				continue
+			}
+			if bi < 0 || results[n].Entropy[b] < best {
+				best, bi = results[n].Entropy[b], n
+			}
+		}
+		winners[b] = bi
+		copy(probs.RowSlice(b), results[bi].Probs.RowSlice(b))
+	}
+	return probs, winners, live, nil
+}
+
+// roundTrip sends one predict request and reads the result.
+func (p *peerConn) roundTrip(payload []byte) (PredictResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.timeout > 0 {
+		if err := p.conn.SetDeadline(time.Now().Add(p.timeout)); err != nil {
+			return PredictResult{}, fmt.Errorf("set deadline: %w", err)
+		}
+		defer p.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	if err := transport.WriteFrame(p.conn, MsgPredict, payload); err != nil {
+		return PredictResult{}, err
+	}
+	typ, resp, err := transport.ReadFrame(p.conn)
+	if err != nil {
+		return PredictResult{}, err
+	}
+	switch typ {
+	case MsgResult:
+		return DecodeResult(resp)
+	case MsgError:
+		return PredictResult{}, fmt.Errorf("worker error: %s", resp)
+	default:
+		return PredictResult{}, fmt.Errorf("unexpected frame type %d", typ)
+	}
+}
+
+// Ping probes every peer, returning the first failure.
+func (m *Master) Ping() error {
+	m.mu.Lock()
+	peers := append([]*peerConn(nil), m.peers...)
+	m.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		err := transport.WriteFrame(p.conn, MsgPing, nil)
+		if err == nil {
+			var typ byte
+			typ, _, err = transport.ReadFrame(p.conn)
+			if err == nil && typ != MsgPong {
+				err = fmt.Errorf("cluster: ping got frame type %d", typ)
+			}
+		}
+		p.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cluster: ping %s: %w", p.addr, err)
+		}
+	}
+	return nil
+}
+
+// Accuracy measures combined accuracy over a labelled set.
+func (m *Master) Accuracy(x *tensor.Tensor, y []int) (float64, error) {
+	probs, _, err := m.Infer(x)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, label := range y {
+		if probs.Row(i).ArgMax() == label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y)), nil
+}
+
+// Close drops all peer connections.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var firstErr error
+	for _, p := range m.peers {
+		if err := p.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.peers = nil
+	return firstErr
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/teamnet/teamnet/internal/moe"
+	"github.com/teamnet/teamnet/internal/mpi"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// SG-MoE distributed runtimes (paper Section VI-A): "each expert is
+// executed on one edge node, and the gate is placed on one of the edge
+// nodes". Two transports are evaluated: gRPC (SG-MoE-G, here the
+// transport.RPC layer) and MPI (SG-MoE-M, here the mpi substrate). Unlike
+// TeamNet's unconditional broadcast, the master must run the gate first and
+// only then dispatch to the selected expert nodes — the serialization the
+// inference-time comparison measures.
+
+// MoEExpertServer serves one SG-MoE expert as an RPC service (SG-MoE-G's
+// worker side). The method "predict" maps an input tensor to the expert's
+// class probabilities.
+type MoEExpertServer struct {
+	srv *transport.RPCServer
+}
+
+// ServeMoEExpert starts serving the expert on addr and returns the bound
+// address and the server handle.
+func ServeMoEExpert(expert *nn.Network, addr string) (string, *MoEExpertServer, error) {
+	var mu sync.Mutex
+	srv := transport.NewRPCServer()
+	srv.Register("predict", func(req []byte) ([]byte, error) {
+		x, _, err := transport.DecodeTensor(req)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: moe predict decode: %w", err)
+		}
+		mu.Lock()
+		probs := expert.Predict(x)
+		mu.Unlock()
+		return transport.EncodeTensor(probs), nil
+	})
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, &MoEExpertServer{srv: srv}, nil
+}
+
+// Close stops the expert server.
+func (s *MoEExpertServer) Close() error { return s.srv.Close() }
+
+// MoEMaster runs the SG-MoE gate locally and dispatches the selected
+// experts over RPC (the SG-MoE-G master side).
+type MoEMaster struct {
+	model   *moe.SGMoE
+	clients []*transport.RPCClient // index = expert id
+}
+
+// NewMoEMaster connects to one expert server per expert, in expert order.
+func NewMoEMaster(model *moe.SGMoE, addrs []string) (*MoEMaster, error) {
+	if len(addrs) != model.K() {
+		return nil, fmt.Errorf("cluster: %d expert addrs for %d experts", len(addrs), model.K())
+	}
+	m := &MoEMaster{model: model}
+	for i, addr := range addrs {
+		cli, err := transport.DialRPC(addr)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("cluster: dial expert %d: %w", i, err)
+		}
+		m.clients = append(m.clients, cli)
+	}
+	return m, nil
+}
+
+// Infer gates locally, dispatches the top-k experts in parallel over RPC,
+// and mixes their returned probabilities with the gate weights.
+func (m *MoEMaster) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	batch := x.Shape[0]
+	indices, weights := m.model.GateSelect(x)
+
+	// Group rows by selected expert so each expert gets one call.
+	perExpert := make([][]int, m.model.K())
+	for b, idx := range indices {
+		for _, e := range idx {
+			perExpert[e] = append(perExpert[e], b)
+		}
+	}
+
+	type reply struct {
+		expert int
+		rows   []int
+		probs  *tensor.Tensor
+		err    error
+	}
+	var wg sync.WaitGroup
+	replies := make([]reply, 0, m.model.K())
+	var mu sync.Mutex
+	for e, rows := range perExpert {
+		if len(rows) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(e int, rows []int) {
+			defer wg.Done()
+			payload := transport.EncodeTensor(x.SelectRows(rows))
+			resp, err := m.clients[e].Call("predict", payload)
+			r := reply{expert: e, rows: rows, err: err}
+			if err == nil {
+				r.probs, _, r.err = transport.DecodeTensor(resp)
+			}
+			mu.Lock()
+			replies = append(replies, r)
+			mu.Unlock()
+		}(e, rows)
+	}
+	wg.Wait()
+
+	out := tensor.New(batch, m.model.Classes)
+	for _, r := range replies {
+		if r.err != nil {
+			return nil, fmt.Errorf("cluster: expert %d rpc: %w", r.expert, r.err)
+		}
+		for ri, b := range r.rows {
+			w := 0.0
+			for j, ei := range indices[b] {
+				if ei == r.expert {
+					w = weights[b][j]
+					break
+				}
+			}
+			dst := out.RowSlice(b)
+			src := r.probs.RowSlice(ri)
+			for c := range dst {
+				dst[c] += w * src[c]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Close drops all expert connections.
+func (m *MoEMaster) Close() error {
+	var firstErr error
+	for _, c := range m.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// MoEMPIWorker is the SG-MoE-M worker loop: rank r serves expert r-1,
+// receiving row batches from rank 0 and returning probabilities, until rank
+// 0 sends the zero-row shutdown sentinel.
+func MoEMPIWorker(comm *mpi.Comm, expert *nn.Network) error {
+	for {
+		x, err := comm.Recv(0)
+		if err != nil {
+			return fmt.Errorf("cluster: moe-mpi worker rank %d recv: %w", comm.Rank(), err)
+		}
+		if x.Shape[0] == 0 { // shutdown sentinel
+			return nil
+		}
+		probs := expert.Predict(x)
+		if err := comm.Send(0, probs); err != nil {
+			return fmt.Errorf("cluster: moe-mpi worker rank %d send: %w", comm.Rank(), err)
+		}
+	}
+}
+
+// MoEMPIMaster drives SG-MoE inference over the MPI substrate from rank 0:
+// gate locally, send each selected expert its rows, receive probabilities,
+// mix. Experts live on ranks 1..K; rank 0 holds only the gate.
+type MoEMPIMaster struct {
+	model *moe.SGMoE
+	comm  *mpi.Comm
+}
+
+// NewMoEMPIMaster wraps rank 0 of a (K+1)-rank world.
+func NewMoEMPIMaster(model *moe.SGMoE, comm *mpi.Comm) (*MoEMPIMaster, error) {
+	if comm.Rank() != 0 {
+		return nil, fmt.Errorf("cluster: moe-mpi master must be rank 0, got %d", comm.Rank())
+	}
+	if comm.Size() != model.K()+1 {
+		return nil, fmt.Errorf("cluster: moe-mpi world %d != K+1 = %d", comm.Size(), model.K()+1)
+	}
+	return &MoEMPIMaster{model: model, comm: comm}, nil
+}
+
+// Infer performs one gated inference round over MPI.
+func (m *MoEMPIMaster) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	batch := x.Shape[0]
+	indices, weights := m.model.GateSelect(x)
+	perExpert := make([][]int, m.model.K())
+	for b, idx := range indices {
+		for _, e := range idx {
+			perExpert[e] = append(perExpert[e], b)
+		}
+	}
+	// Send phase (rank order, matching the workers' Recv).
+	for e, rows := range perExpert {
+		if len(rows) == 0 {
+			continue
+		}
+		if err := m.comm.Send(e+1, x.SelectRows(rows)); err != nil {
+			return nil, fmt.Errorf("cluster: moe-mpi send expert %d: %w", e, err)
+		}
+	}
+	// Gather phase.
+	out := tensor.New(batch, m.model.Classes)
+	for e, rows := range perExpert {
+		if len(rows) == 0 {
+			continue
+		}
+		probs, err := m.comm.Recv(e + 1)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: moe-mpi recv expert %d: %w", e, err)
+		}
+		for ri, b := range rows {
+			w := 0.0
+			for j, ei := range indices[b] {
+				if ei == e {
+					w = weights[b][j]
+					break
+				}
+			}
+			dst := out.RowSlice(b)
+			src := probs.RowSlice(ri)
+			for c := range dst {
+				dst[c] += w * src[c]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Shutdown releases all worker ranks with the zero-row sentinel.
+func (m *MoEMPIMaster) Shutdown() error {
+	features := 1
+	for e := 0; e < m.model.K(); e++ {
+		if err := m.comm.Send(e+1, tensor.New(0, features)); err != nil {
+			return fmt.Errorf("cluster: moe-mpi shutdown rank %d: %w", e+1, err)
+		}
+	}
+	return nil
+}

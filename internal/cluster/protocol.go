@@ -1,0 +1,82 @@
+// Package cluster is the live distributed-inference runtime of Figure 1(d):
+// TeamNet experts served over raw TCP sockets by worker nodes, a master
+// that broadcasts sensor data, gathers predictions with uncertainties, and
+// selects the least-uncertain answer; a bully leader election for the
+// distributed variant of step 5; and the SG-MoE runtimes (gate + selected
+// experts over RPC for SG-MoE-G, over the MPI substrate for SG-MoE-M).
+//
+// Everything here runs over real connections — the unit tests and the live
+// benchmark mode exercise actual loopback TCP; the simulated experiments
+// price the same protocol's byte counts through internal/edgesim.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// Frame types of the TeamNet socket protocol.
+const (
+	// MsgPredict carries an input tensor master → worker (Fig 1d step 2).
+	MsgPredict byte = iota + 1
+	// MsgResult carries probabilities + per-sample entropies back
+	// (Fig 1d step 4).
+	MsgResult
+	// MsgPing / MsgPong probe liveness.
+	MsgPing
+	MsgPong
+	// MsgElection / MsgElectionOK / MsgCoordinator implement the bully
+	// election (Section III's "leader election protocol" option).
+	MsgElection
+	MsgElectionOK
+	MsgCoordinator
+	// MsgError reports a worker-side failure as text.
+	MsgError
+)
+
+// PredictResult is one node's answer for a batch: class probabilities and
+// the predictive entropy per sample.
+type PredictResult struct {
+	Probs   *tensor.Tensor
+	Entropy []float64
+}
+
+// EncodeResult serializes a PredictResult payload.
+func EncodeResult(r PredictResult) []byte {
+	probs := transport.EncodeTensor(r.Probs)
+	ent := transport.EncodeFloats(r.Entropy)
+	out := make([]byte, 0, len(probs)+len(ent))
+	out = append(out, probs...)
+	return append(out, ent...)
+}
+
+// DecodeResult parses a PredictResult payload.
+func DecodeResult(payload []byte) (PredictResult, error) {
+	probs, used, err := transport.DecodeTensor(payload)
+	if err != nil {
+		return PredictResult{}, fmt.Errorf("cluster: decode result probs: %w", err)
+	}
+	ent, _, err := transport.DecodeFloats(payload[used:])
+	if err != nil {
+		return PredictResult{}, fmt.Errorf("cluster: decode result entropy: %w", err)
+	}
+	if probs.Shape[0] != len(ent) {
+		return PredictResult{}, fmt.Errorf("cluster: result rows %d != entropies %d", probs.Shape[0], len(ent))
+	}
+	return PredictResult{Probs: probs, Entropy: ent}, nil
+}
+
+// ResultWireBytes reports the on-wire payload size of a result for a batch
+// of the given dimensions — used by the cost model.
+func ResultWireBytes(batch, classes int) int {
+	probs := 1 + 4*2 + 4*batch*classes
+	ent := 4 + 8*batch
+	return probs + ent
+}
+
+// InputWireBytes reports the on-wire payload size of a broadcast input.
+func InputWireBytes(batch, features int) int {
+	return 1 + 4*2 + 4*batch*features
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// Worker serves one TeamNet expert over raw TCP: the edge-node role of
+// Figure 1(d). It answers MsgPredict frames with MsgResult frames carrying
+// probabilities and predictive entropies, and responds to pings and
+// election traffic.
+type Worker struct {
+	pool   chan *nn.Network // expert replicas; nn.Network is single-goroutine
+	id     int              // election identity; higher wins
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewWorker wraps an expert network for serving. id is the node's election
+// identity (any distinct non-negative int; higher ids win elections).
+// Inference requests are serialized on the single expert; use
+// NewWorkerPool for concurrent serving.
+func NewWorker(expert *nn.Network, id int) *Worker {
+	return NewWorkerPool([]*nn.Network{expert}, id)
+}
+
+// NewWorkerPool serves a pool of identical expert replicas: up to
+// len(replicas) inferences run concurrently (each nn.Network instance is
+// single-goroutine). Build replicas with core.Team.CloneExpert. It panics
+// on an empty pool (programmer error at construction).
+func NewWorkerPool(replicas []*nn.Network, id int) *Worker {
+	if len(replicas) == 0 {
+		panic("cluster: worker needs at least one expert replica")
+	}
+	pool := make(chan *nn.Network, len(replicas))
+	for _, e := range replicas {
+		pool <- e
+	}
+	return &Worker{pool: pool, id: id, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds to addr (use "127.0.0.1:0" for tests) and serves in the
+// background. It returns the bound address.
+func (w *Worker) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cluster: worker listen %s: %w", addr, err)
+	}
+	w.mu.Lock()
+	w.ln = ln
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go w.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (w *Worker) acceptLoop(ln net.Listener) {
+	defer w.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer func() {
+				conn.Close()
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+			}()
+			w.serveConn(conn)
+		}()
+	}
+}
+
+func (w *Worker) serveConn(conn net.Conn) {
+	for {
+		typ, payload, err := transport.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgPredict:
+			x, _, err := transport.DecodeTensor(payload)
+			if err != nil {
+				_ = transport.WriteFrame(conn, MsgError, []byte(err.Error()))
+				return
+			}
+			res := w.predict(x)
+			if err := transport.WriteFrame(conn, MsgResult, EncodeResult(res)); err != nil {
+				return
+			}
+		case MsgPing:
+			if err := transport.WriteFrame(conn, MsgPong, nil); err != nil {
+				return
+			}
+		case MsgElection:
+			// Bully: any node hearing an election from a lower id answers
+			// OK (it will run its own election).
+			if err := transport.WriteFrame(conn, MsgElectionOK, []byte{byte(w.id)}); err != nil {
+				return
+			}
+		default:
+			_ = transport.WriteFrame(conn, MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ)))
+			return
+		}
+	}
+}
+
+// predict runs one pooled expert replica on x (step 3 of Fig 1d) and pairs
+// every row with its predictive entropy.
+func (w *Worker) predict(x *tensor.Tensor) PredictResult {
+	expert := <-w.pool
+	defer func() { w.pool <- expert }()
+	probs, ent := expert.PredictWithEntropy(x)
+	return PredictResult{Probs: probs, Entropy: ent.Data}
+}
+
+// ID returns the worker's election identity.
+func (w *Worker) ID() int { return w.id }
+
+// Close stops serving and closes open connections.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	ln := w.ln
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	w.wg.Wait()
+	return err
+}

@@ -1,0 +1,110 @@
+// Package core implements TeamNet, the paper's primary contribution: a
+// partition approach that trains K shallow expert networks by competitive
+// and selective learning (Section IV) and combines their predictions at
+// inference time with an arg-min gate over predictive entropies (Section V).
+//
+// The package follows the paper's structure:
+//
+//   - entropy.go   — predictive entropy H(ŷ|x, θ_i) and the batch statistics
+//     E(x), D(x) and Δ of Section IV-B.
+//   - gate.go      — the arg-min gate G, the dynamic gate Ḡ(x, δ) of Eq. (1),
+//     the soft arg-min of Eq. (5) and the Kronecker-delta approximation of
+//     Eq. (7).
+//   - gatetrain.go — Algorithm 2: fitting the control variables δ via the
+//     latent MLP W(z, Θ), with the meta-estimator of Eq. (6) choosing the
+//     soft-arg-min sharpness b.
+//   - trainer.go   — Algorithms 1 and 3: the epoch driver and the per-expert
+//     update, plus the convergence recorder behind Figures 6 and 8.
+//   - team.go      — the trained-team bundle, arg-min inference, the
+//     majority-vote ablation, serialization, and the specialization
+//     analysis behind Figure 9.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// EntropyMatrix evaluates every expert on the batch and returns the entropy
+// matrix H with H[x][i] = H(ŷ|x, θ_i), shape [batch, K], along with each
+// expert's class probabilities (probs[i] is [batch, classes]).
+//
+// Experts run in inference mode: the paper's gate consumes uncertainty of
+// the current models, not training-mode stochastic outputs. On multi-core
+// hosts the experts evaluate concurrently — they are independent network
+// instances, mirroring the paper's step 3 where every edge device infers in
+// parallel.
+func EntropyMatrix(experts []*nn.Network, x *tensor.Tensor) (h *tensor.Tensor, probs []*tensor.Tensor) {
+	k := len(experts)
+	batch := x.Shape[0]
+	h = tensor.New(batch, k)
+	probs = make([]*tensor.Tensor, k)
+	fill := func(i int) {
+		p, ent := experts[i].PredictWithEntropy(x)
+		probs[i] = p
+		for b := 0; b < batch; b++ {
+			h.Set(ent.Data[b], b, i)
+		}
+	}
+	if runtime.GOMAXPROCS(0) < 2 || k < 2 {
+		for i := range experts {
+			fill(i)
+		}
+		return h, probs
+	}
+	var wg sync.WaitGroup
+	for i := range experts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fill(i)
+		}(i)
+	}
+	wg.Wait()
+	return h, probs
+}
+
+// MeanEntropy returns E(x) = (1/K) Σ_i H(ŷ|x, θ_i) per sample.
+func MeanEntropy(h *tensor.Tensor) *tensor.Tensor {
+	k := float64(h.Cols())
+	e := tensor.SumRows(h)
+	e.ScaleInPlace(1 / k)
+	return e
+}
+
+// AbsDeviation returns D(x) = (1/K) Σ_i |H(ŷ|x, θ_i) - E(x)| per sample.
+func AbsDeviation(h, e *tensor.Tensor) *tensor.Tensor {
+	batch, k := h.Shape[0], h.Shape[1]
+	d := tensor.New(batch)
+	for b := 0; b < batch; b++ {
+		s := 0.0
+		for i := 0; i < k; i++ {
+			diff := h.At(b, i) - e.Data[b]
+			if diff < 0 {
+				diff = -diff
+			}
+			s += diff
+		}
+		d.Data[b] = s / float64(k)
+	}
+	return d
+}
+
+// Diversity returns Δ = (1/|β|) Σ_x D(x)/E(x), the average normalized
+// absolute deviation of the batch — how much the experts' uncertainties
+// disagree (Section IV-B). Samples with E(x) = 0 (all experts perfectly
+// certain) contribute zero.
+func Diversity(h *tensor.Tensor) float64 {
+	e := MeanEntropy(h)
+	d := AbsDeviation(h, e)
+	total := 0.0
+	for b := 0; b < h.Shape[0]; b++ {
+		if e.Data[b] > 0 {
+			total += d.Data[b] / e.Data[b]
+		}
+	}
+	return total / float64(h.Shape[0])
+}

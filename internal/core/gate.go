@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// HardGate is the arg-min gate G(x) := arg min_i H(ŷ|x, θ_i): the expert
+// with the least predictive entropy wins each sample. It returns one expert
+// index per batch row. This is both the inference-time combiner (Figure 4)
+// and the bias probe γ of training (Eq. 2).
+func HardGate(h *tensor.Tensor) []int {
+	batch := h.Shape[0]
+	out := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		out[b] = h.Row(b).ArgMin()
+	}
+	return out
+}
+
+// DynamicGate is Ḡ(x, δ) := arg min_i δ_i · H(ŷ|x, θ_i) (Eq. 1): the
+// entropy of each expert is scaled by its control variable before the
+// arg-min, which lets the trainer steer data away from over-confident
+// ("richer") experts.
+func DynamicGate(h *tensor.Tensor, delta []float64) []int {
+	batch, k := h.Shape[0], h.Shape[1]
+	if len(delta) != k {
+		panic("core: delta length does not match expert count")
+	}
+	out := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		row := h.RowSlice(b)
+		best, bi := math.Inf(1), 0
+		for i := 0; i < k; i++ {
+			v := delta[i] * row[i]
+			if v < best {
+				best, bi = v, i
+			}
+		}
+		out[b] = bi
+	}
+	return out
+}
+
+// Proportions returns γ_i (Eq. 2/3): the fraction of the batch assigned to
+// each of k experts by the given assignment.
+func Proportions(assign []int, k int) []float64 {
+	out := make([]float64, k)
+	if len(assign) == 0 {
+		return out
+	}
+	inc := 1 / float64(len(assign))
+	for _, i := range assign {
+		out[i] += inc
+	}
+	return out
+}
+
+// SoftArgMin computes the differentiable arg-min of Eq. (5) for one sample:
+// softargmin(v) = Σ_i softmax_i(-b·v_i) · i — a continuous index in
+// [0, K-1] that approaches the hard arg-min as b grows. It returns the
+// continuous index together with the softmax weights, which the gate
+// trainer reuses for gradients.
+func SoftArgMin(v []float64, b float64) (idx float64, weights []float64) {
+	k := len(v)
+	weights = make([]float64, k)
+	// Stable softmax of -b·v: subtract the max of (-b·v) = -b·min(v).
+	minV := v[0]
+	for _, x := range v[1:] {
+		if x < minV {
+			minV = x
+		}
+	}
+	sum := 0.0
+	for i, x := range v {
+		w := math.Exp(-b * (x - minV))
+		weights[i] = w
+		sum += w
+	}
+	for i := range weights {
+		weights[i] /= sum
+		idx += weights[i] * float64(i)
+	}
+	return idx, weights
+}
+
+// kroneckerConst is the discretization constant c of Eq. (7); the paper
+// sets it to 10 "to satisfy the needs of discretization while letting
+// gradients propagate through".
+const kroneckerConst = 10.0
+
+// SoftIndicator is the differentiable Kronecker-delta approximation of
+// Eq. (7): 1[Ḡ(x,δ)=i] ≈ tanh(c·ReLU(0.5 - |s - i|)) where s is the soft
+// arg-min index.
+func SoftIndicator(s float64, i int) float64 {
+	r := 0.5 - math.Abs(s-float64(i))
+	if r <= 0 {
+		return 0
+	}
+	return math.Tanh(kroneckerConst * r)
+}
+
+// SoftIndicatorGrad returns d SoftIndicator/ds, needed by Algorithm 2's
+// gradient step.
+func SoftIndicatorGrad(s float64, i int) float64 {
+	d := s - float64(i)
+	r := 0.5 - math.Abs(d)
+	if r <= 0 {
+		return 0
+	}
+	th := math.Tanh(kroneckerConst * r)
+	g := kroneckerConst * (1 - th*th)
+	if d > 0 {
+		return -g
+	}
+	if d < 0 {
+		return g
+	}
+	return 0 // non-differentiable point; subgradient 0
+}
+
+// ControlTargets returns the controller set points of Eq. (4):
+// target_i = 1/K - a·(γ_i - 1/K), where a is the proportional gain. The
+// targets over-correct observed bias so the cumulative assignment converges
+// to 1/K (Appendix A).
+func ControlTargets(gamma []float64, gain float64) []float64 {
+	k := len(gamma)
+	shares := make([]float64, k)
+	for i := range shares {
+		shares[i] = 1 / float64(k)
+	}
+	return ControlTargetsShares(gamma, gain, shares)
+}
+
+// ControlTargetsShares generalizes Eq. (4) to arbitrary set points w_i
+// (Σw_i = 1): target_i = w_i - a·(γ_i - w_i). The paper's conclusion names
+// this as future work — "objective functions … that can adapt to the
+// imbalances among different classes in training data" — realized here by
+// letting the caller choose per-expert data shares; the Appendix A
+// contraction argument is unchanged with w_i in place of 1/K.
+func ControlTargetsShares(gamma []float64, gain float64, shares []float64) []float64 {
+	if len(shares) != len(gamma) {
+		panic("core: target shares length does not match expert count")
+	}
+	out := make([]float64, len(gamma))
+	for i, g := range gamma {
+		out[i] = shares[i] - gain*(g-shares[i])
+	}
+	return out
+}
+
+// GateObjective is J of Algorithm 2: the mean absolute deviation of the
+// soft proportions γ̄ from the controller targets.
+func GateObjective(gammaBar, target []float64) float64 {
+	j := 0.0
+	for i := range gammaBar {
+		j += math.Abs(gammaBar[i] - target[i])
+	}
+	return j / float64(len(gammaBar))
+}

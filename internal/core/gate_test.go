@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func TestHardGatePicksLeastEntropy(t *testing.T) {
+	h := tensor.FromSlice([]float64{
+		0.5, 0.2, 0.9,
+		0.1, 0.4, 0.3,
+	}, 2, 3)
+	got := HardGate(h)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("HardGate = %v", got)
+	}
+}
+
+func TestDynamicGateScalesEntropies(t *testing.T) {
+	h := tensor.FromSlice([]float64{0.5, 0.4}, 1, 2)
+	// Unscaled: expert 1 wins. Penalize expert 1 with δ₁ = 2: expert 0 wins.
+	if got := DynamicGate(h, []float64{1, 1}); got[0] != 1 {
+		t.Fatalf("unit delta gate = %v", got)
+	}
+	if got := DynamicGate(h, []float64{1, 2}); got[0] != 0 {
+		t.Fatalf("scaled gate = %v", got)
+	}
+}
+
+func TestDynamicGateBadDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched delta did not panic")
+		}
+	}()
+	DynamicGate(tensor.New(1, 2), []float64{1})
+}
+
+func TestProportions(t *testing.T) {
+	got := Proportions([]int{0, 0, 1, 2}, 3)
+	want := []float64{0.5, 0.25, 0.25}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Proportions = %v", got)
+		}
+	}
+	if got := Proportions(nil, 2); got[0] != 0 || got[1] != 0 {
+		t.Fatal("empty assignment should give zero proportions")
+	}
+}
+
+func TestControlTargetsCounteractBias(t *testing.T) {
+	// Expert 0 over-assigned (0.7 > 0.5): its target must drop below 1/K.
+	targets := ControlTargets([]float64{0.7, 0.3}, 0.5)
+	if targets[0] >= 0.5 || targets[1] <= 0.5 {
+		t.Fatalf("targets %v do not counteract bias", targets)
+	}
+	// Unbiased: targets equal 1/K exactly.
+	targets = ControlTargets([]float64{0.5, 0.5}, 0.5)
+	if targets[0] != 0.5 || targets[1] != 0.5 {
+		t.Fatalf("unbiased targets %v", targets)
+	}
+	// Targets preserve total mass: Σ target = 1 for any γ summing to 1.
+	targets = ControlTargets([]float64{0.1, 0.25, 0.65}, 0.8)
+	sum := targets[0] + targets[1] + targets[2]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("targets sum to %v", sum)
+	}
+}
+
+func TestGateObjectiveZeroAtTarget(t *testing.T) {
+	if J := GateObjective([]float64{0.5, 0.5}, []float64{0.5, 0.5}); J != 0 {
+		t.Fatalf("J = %v at target", J)
+	}
+	if J := GateObjective([]float64{1, 0}, []float64{0.5, 0.5}); math.Abs(J-0.5) > 1e-12 {
+		t.Fatalf("J = %v, want 0.5", J)
+	}
+}
+
+func TestSoftArgMinApproachesHardArgMin(t *testing.T) {
+	v := []float64{0.9, 0.2, 0.7}
+	s, w := SoftArgMin(v, 200)
+	if math.Abs(s-1) > 1e-3 {
+		t.Fatalf("sharp soft-arg-min = %v, want ≈1", s)
+	}
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestSoftArgMinSoftLimitIsMeanIndex(t *testing.T) {
+	v := []float64{0.9, 0.2, 0.7}
+	s, _ := SoftArgMin(v, 1e-9)
+	if math.Abs(s-1.0) > 1e-6 { // (0+1+2)/3
+		t.Fatalf("b→0 soft-arg-min = %v, want mean index 1", s)
+	}
+}
+
+func TestSoftArgMinNumericalStability(t *testing.T) {
+	// Huge magnitudes must not overflow the exponentials.
+	s, w := SoftArgMin([]float64{1e6, 2e6}, 10)
+	if math.IsNaN(s) || math.IsNaN(w[0]) {
+		t.Fatal("soft-arg-min NaN on large inputs")
+	}
+	if math.Abs(s) > 1e-6 {
+		t.Fatalf("s = %v, want ≈0", s)
+	}
+}
+
+func TestSoftIndicatorShape(t *testing.T) {
+	// Exactly at the index: near 1 (tanh(10·0.5) ≈ 0.9999).
+	if v := SoftIndicator(2, 2); v < 0.99 {
+		t.Fatalf("indicator at own index = %v", v)
+	}
+	// Far away: exactly 0.
+	if v := SoftIndicator(2, 0); v != 0 {
+		t.Fatalf("indicator 2 away = %v", v)
+	}
+	// Halfway between indices: 0 (r = 0).
+	if v := SoftIndicator(1.5, 1); v != 0 {
+		t.Fatalf("indicator at midpoint = %v", v)
+	}
+}
+
+func TestSoftIndicatorGradMatchesFiniteDifference(t *testing.T) {
+	const h = 1e-7
+	for _, s := range []float64{0.8, 1.2, 1.74, 2.3, 0.1} {
+		for i := 0; i <= 2; i++ {
+			num := (SoftIndicator(s+h, i) - SoftIndicator(s-h, i)) / (2 * h)
+			ana := SoftIndicatorGrad(s, i)
+			if math.Abs(num-ana) > 1e-4*math.Max(1, math.Abs(num)) {
+				t.Fatalf("grad at s=%v i=%d: analytic %v numeric %v", s, i, ana, num)
+			}
+		}
+	}
+}
+
+func TestEstimateSharpnessHitsTargetDistance(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	h := rng.RandUniform(0.1, 2.0, 64, 4)
+	eps := 0.05
+	b := EstimateSharpness(h, eps)
+	// The mean rounding distance at the chosen b must be ≤ eps, and at a
+	// clearly softer b it must exceed eps (b is as small as possible).
+	dist := func(b float64) float64 {
+		total := 0.0
+		for x := 0; x < 64; x++ {
+			s, _ := SoftArgMin(h.RowSlice(x), b)
+			total += math.Abs(s - math.Round(s))
+		}
+		return total / 64
+	}
+	if d := dist(b); d > eps+1e-6 {
+		t.Fatalf("distance at estimated b=%v is %v > ε=%v", b, d, eps)
+	}
+	if d := dist(b / 4); d <= eps {
+		t.Fatalf("b=%v not minimal: quarter sharpness still satisfies ε (%v)", b, d)
+	}
+}
+
+func TestEstimateSharpnessSatisfiesConstraintProperty(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	f := func(seed uint8) bool {
+		h := rng.Split(int64(seed)).RandUniform(0.05, 3.0, 32, 3)
+		eps := 0.08
+		b := EstimateSharpness(h, eps)
+		total := 0.0
+		for x := 0; x < 32; x++ {
+			s, _ := SoftArgMin(h.RowSlice(x), b)
+			total += math.Abs(s - math.Round(s))
+		}
+		return total/32 <= eps+1e-9 && b > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropyStatsAgainstHand(t *testing.T) {
+	h := tensor.FromSlice([]float64{
+		1.0, 3.0, // E = 2, D = 1
+		2.0, 2.0, // E = 2, D = 0
+	}, 2, 2)
+	e := MeanEntropy(h)
+	if e.Data[0] != 2 || e.Data[1] != 2 {
+		t.Fatalf("MeanEntropy = %v", e)
+	}
+	d := AbsDeviation(h, e)
+	if d.Data[0] != 1 || d.Data[1] != 0 {
+		t.Fatalf("AbsDeviation = %v", d)
+	}
+	// Δ = mean(1/2, 0/2) = 0.25.
+	if got := Diversity(h); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Diversity = %v", got)
+	}
+}
+
+func TestDiversityZeroEntropySafe(t *testing.T) {
+	h := tensor.New(2, 2) // all-zero entropies
+	if got := Diversity(h); got != 0 || math.IsNaN(got) {
+		t.Fatalf("Diversity of zero matrix = %v", got)
+	}
+}

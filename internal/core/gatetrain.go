@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// GateTrainer implements Algorithm 2 (Finding Gate Ḡ). Per mini-batch it
+// fits the control variables δ = 1 + Δ·W(z, Θ) so that the soft assignment
+// proportions γ̄(δ) match the proportional-controller targets of Eq. (4),
+// descending the parameters Θ of the latent MLP W.
+type GateTrainer struct {
+	cfg Config
+	w   *nn.Network // W(z, Θ): latent → K scale offsets Φ
+	opt nn.Optimizer
+	rng *tensor.RNG
+	k   int
+}
+
+// GateResult reports one Algorithm 2 run.
+type GateResult struct {
+	Assignment []int     // Ḡ(x, δ) per sample (hard, final)
+	Delta      []float64 // fitted control variables
+	Gamma      []float64 // hard-gate proportions γ (the bias probe)
+	GammaBar   []float64 // soft proportions at the returned δ
+	Objective  float64   // final J
+	Iterations int       // gradient steps taken
+	Sharpness  float64   // b chosen by the meta-estimator (or fixed)
+	Guarded    bool      // assignment came from the balance-guard fallback
+}
+
+// newGateTrainer builds the trainer's latent MLP. The network is tiny —
+// latent → hidden (tanh) → K — because it only has to express K scale
+// factors per batch.
+func newGateTrainer(cfg Config, rng *tensor.RNG) *GateTrainer {
+	w := nn.NewNetwork("gate-W",
+		nn.NewDense(cfg.LatentDim, cfg.GateHidden, rng),
+		nn.NewTanh(),
+		nn.NewDense(cfg.GateHidden, cfg.K, rng),
+	)
+	return &GateTrainer{
+		cfg: cfg,
+		w:   w,
+		opt: nn.NewAdam(cfg.GateLR),
+		rng: rng,
+		k:   cfg.K,
+	}
+}
+
+// Fit runs Algorithm 2 on the entropy matrix h ([batch, K]) and returns the
+// resulting assignment and diagnostics.
+func (g *GateTrainer) Fit(h *tensor.Tensor) GateResult {
+	batch, k := h.Shape[0], g.k
+	gamma := Proportions(HardGate(h), k)
+	var target []float64
+	if g.cfg.TargetShares != nil {
+		target = ControlTargetsShares(gamma, g.cfg.Gain, g.cfg.TargetShares)
+	} else {
+		target = ControlTargets(gamma, g.cfg.Gain)
+	}
+	// δ = 1 + Φ·Δ gives the gate leverage proportional to how much the
+	// experts' uncertainties disagree. When experts are young (or agree),
+	// Δ → 0 and the controller would lose all authority exactly when
+	// biases are worst, so the effective scale is floored.
+	diversity := math.Max(Diversity(h), g.cfg.DiversityFloor)
+
+	// Latent draw z ~ U(-1, 1)^N, fixed for this batch (Algorithm 2 line 3).
+	z := g.rng.RandUniform(-1, 1, 1, g.cfg.LatentDim)
+
+	// Sharpness b via the meta-estimator (Eq. 6) on the unscaled entropies,
+	// unless an ablation pins it.
+	b := g.cfg.FixedSharpness
+	if b <= 0 {
+		b = EstimateSharpness(h, g.cfg.SharpnessEps)
+	}
+
+	delta := make([]float64, k)
+	bestDelta := make([]float64, k)
+	bestJ := math.Inf(1)
+	var gammaBar []float64
+	iters := 0
+
+	for iter := 0; iter < g.cfg.GateMaxIters; iter++ {
+		iters = iter + 1
+		// Forward: Φ = W(z, Θ); δ = 1 + Φ·Δ.
+		phi := g.w.Forward(z, true)
+		for i := 0; i < k; i++ {
+			delta[i] = 1 + phi.Data[i]*diversity
+			if delta[i] < 1e-3 {
+				delta[i] = 1e-3 // keep the scaled entropies ordered and positive
+			}
+		}
+
+		// Convergence is judged on the exact (hard Kronecker) proportions:
+		// the tanh surrogate of Eq. (7) never sums to exactly one, so its J
+		// has a positive floor; descending through the surrogate while
+		// selecting iterates by the exact J keeps gradients alive without
+		// overshooting the controller targets.
+		jHard := GateObjective(Proportions(DynamicGate(h, delta), k), target)
+		if jHard < bestJ {
+			bestJ = jHard
+			copy(bestDelta, delta)
+		}
+		if jHard <= g.cfg.Epsilon {
+			break
+		}
+
+		// Soft proportions γ̄ and their gradient w.r.t. δ.
+		gammaBar = make([]float64, k)
+		dGammaBarDDelta := tensor.New(k, k) // [i][j] = dγ̄_i/dδ_j
+		scaled := make([]float64, k)
+		for x := 0; x < batch; x++ {
+			row := h.RowSlice(x)
+			for i := 0; i < k; i++ {
+				scaled[i] = delta[i] * row[i]
+			}
+			s, wts := SoftArgMin(scaled, b)
+			for i := 0; i < k; i++ {
+				gammaBar[i] += SoftIndicator(s, i)
+			}
+			// ds/dδ_j = -b·h_j·p_j·(j - s); dγ̄_i/dδ_j += dq_i/ds · ds/dδ_j.
+			for j := 0; j < k; j++ {
+				dsdDelta := -b * row[j] * wts[j] * (float64(j) - s)
+				for i := 0; i < k; i++ {
+					qg := SoftIndicatorGrad(s, i)
+					if qg != 0 {
+						dGammaBarDDelta.Data[i*k+j] += qg * dsdDelta
+					}
+				}
+			}
+		}
+		inv := 1 / float64(batch)
+		for i := range gammaBar {
+			gammaBar[i] *= inv
+		}
+		dGammaBarDDelta.ScaleInPlace(inv)
+
+		// Backward: dJ/dδ_j = Σ_i sign(γ̄_i - target_i)/K · dγ̄_i/dδ_j, then
+		// dJ/dΦ_j = dJ/dδ_j · Δ, propagated into Θ through W.
+		dPhi := tensor.New(1, k)
+		for jj := 0; jj < k; jj++ {
+			s := 0.0
+			for i := 0; i < k; i++ {
+				s += sign(gammaBar[i]-target[i]) / float64(k) * dGammaBarDDelta.Data[i*k+jj]
+			}
+			dPhi.Data[jj] = s * diversity
+		}
+		g.w.ZeroGrads()
+		g.w.Backward(dPhi)
+		g.opt.Step(g.w.Params(), g.w.Grads())
+	}
+
+	assign := DynamicGate(h, bestDelta)
+	guarded := false
+	if g.cfg.BalanceGuard && bestJ > g.cfg.Epsilon {
+		assign = BalancedAssign(h, bestDelta, target)
+		bestJ = GateObjective(Proportions(assign, k), target)
+		guarded = true
+	}
+	return GateResult{
+		Assignment: assign,
+		Delta:      bestDelta,
+		Gamma:      gamma,
+		GammaBar:   Proportions(assign, k),
+		Objective:  bestJ,
+		Iterations: iters,
+		Sharpness:  b,
+		Guarded:    guarded,
+	}
+}
+
+// BalancedAssign solves the gate's assignment problem subject to hard
+// capacity constraints derived from the controller targets of Eq. (4):
+// every expert i receives (as close as possible to) target_i·|β| samples,
+// and within those constraints each sample goes to the expert with the
+// least scaled entropy, most-decisive samples first.
+//
+// It is the fallback solver behind Config.BalanceGuard: when Algorithm 2's
+// gradient descent on Θ cannot reach J ≤ ε (typical for young CNN experts
+// whose entropy orderings flip en masse), the capacity-constrained greedy
+// meets the same objective exactly, at the cost of ignoring δ's parametric
+// form for that batch.
+func BalancedAssign(h *tensor.Tensor, delta, target []float64) []int {
+	n, k := h.Shape[0], h.Shape[1]
+	// Integer capacities via largest remainder.
+	caps := make([]int, k)
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, k)
+	total := 0
+	for i, t := range target {
+		if t < 0 {
+			t = 0
+		}
+		exact := t * float64(n)
+		caps[i] = int(exact)
+		rems[i] = rem{i: i, frac: exact - float64(caps[i])}
+		total += caps[i]
+	}
+	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for j := 0; total < n; j = (j + 1) % k {
+		caps[rems[j].i]++
+		total++
+	}
+
+	// Order samples by decisiveness: the gap between their best and
+	// second-best scaled entropy, descending, so clear specialties are
+	// honoured before ambiguous samples fill leftover capacity.
+	type pref struct {
+		x      int
+		margin float64
+	}
+	prefs := make([]pref, n)
+	scaled := make([][]float64, n)
+	for x := 0; x < n; x++ {
+		row := h.RowSlice(x)
+		s := make([]float64, k)
+		best, second := math.Inf(1), math.Inf(1)
+		for i := 0; i < k; i++ {
+			s[i] = delta[i] * row[i]
+			if s[i] < best {
+				second = best
+				best = s[i]
+			} else if s[i] < second {
+				second = s[i]
+			}
+		}
+		scaled[x] = s
+		prefs[x] = pref{x: x, margin: second - best}
+	}
+	sort.Slice(prefs, func(a, b int) bool { return prefs[a].margin > prefs[b].margin })
+
+	assign := make([]int, n)
+	for _, p := range prefs {
+		bestI, bestV := -1, math.Inf(1)
+		for i := 0; i < k; i++ {
+			if caps[i] > 0 && scaled[p.x][i] < bestV {
+				bestI, bestV = i, scaled[p.x][i]
+			}
+		}
+		if bestI < 0 { // capacities exhausted (cannot happen: Σcaps = n)
+			bestI = 0
+		}
+		caps[bestI]--
+		assign[p.x] = bestI
+	}
+	return assign
+}
+
+// EstimateSharpness is the meta-estimator of Eq. (6): it chooses the soft
+// arg-min sharpness b so that the batch-mean distance of Ḡ(x, δ) to its
+// nearest integer is ≈ ε — sharp enough to discretize, soft enough that
+// gradients still propagate.
+//
+// The paper optimizes a small neural estimator; this implementation solves
+// the same one-dimensional objective directly with a log-spaced scan,
+// returning the softest b whose mean rounding distance is within ε — sharp
+// enough to discretize, but no sharper, so gradients keep propagating. (The
+// distance is only approximately monotone in b, hence a scan rather than
+// bisection.)
+func EstimateSharpness(h *tensor.Tensor, eps float64) float64 {
+	const (
+		bLo, bHi = 0.05, 2000.0
+		steps    = 64
+	)
+	dist := func(b float64) float64 {
+		batch := h.Shape[0]
+		total := 0.0
+		for x := 0; x < batch; x++ {
+			s, _ := SoftArgMin(h.RowSlice(x), b)
+			total += math.Abs(s - math.Round(s))
+		}
+		return total / float64(batch)
+	}
+	lo, hi := math.Log(bLo), math.Log(bHi)
+	for i := 0; i <= steps; i++ {
+		b := math.Exp(lo + (hi-lo)*float64(i)/steps)
+		if dist(b) <= eps {
+			return b
+		}
+	}
+	return bHi
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func TestControlTargetsSharesGeneralizesUniform(t *testing.T) {
+	gamma := []float64{0.7, 0.3}
+	uniform := ControlTargets(gamma, 0.5)
+	viaShares := ControlTargetsShares(gamma, 0.5, []float64{0.5, 0.5})
+	for i := range uniform {
+		if math.Abs(uniform[i]-viaShares[i]) > 1e-12 {
+			t.Fatalf("uniform shares disagree with ControlTargets: %v vs %v", uniform, viaShares)
+		}
+	}
+}
+
+func TestControlTargetsSharesCounteractTowardShares(t *testing.T) {
+	shares := []float64{0.75, 0.25}
+	// At the set point, targets equal the shares.
+	targets := ControlTargetsShares([]float64{0.75, 0.25}, 0.5, shares)
+	if math.Abs(targets[0]-0.75) > 1e-12 || math.Abs(targets[1]-0.25) > 1e-12 {
+		t.Fatalf("targets at set point = %v", targets)
+	}
+	// Expert 0 under its share: its target rises above the share.
+	targets = ControlTargetsShares([]float64{0.5, 0.5}, 0.5, shares)
+	if targets[0] <= 0.75 || targets[1] >= 0.25 {
+		t.Fatalf("targets do not pull toward shares: %v", targets)
+	}
+	// Mass preserved.
+	if sum := targets[0] + targets[1]; math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("targets sum %v", sum)
+	}
+}
+
+func TestControlTargetsSharesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	ControlTargetsShares([]float64{0.5, 0.5}, 0.5, []float64{1})
+}
+
+func TestConfigValidateTargetShares(t *testing.T) {
+	base := smallConfig(2)
+	cases := []struct {
+		shares []float64
+		ok     bool
+	}{
+		{nil, true},
+		{[]float64{0.7, 0.3}, true},
+		{[]float64{0.5, 0.5, 0.0}, false}, // wrong length
+		{[]float64{1.5, -0.5}, false},     // negative share
+		{[]float64{0.4, 0.4}, false},      // sums to 0.8
+	}
+	for i, c := range cases {
+		cfg := base
+		cfg.TargetShares = c.shares
+		err := cfg.Validate()
+		if c.ok && err != nil {
+			t.Fatalf("case %d: unexpected error %v", i, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("case %d: shares %v accepted", i, c.shares)
+		}
+	}
+}
+
+func TestWarmupAssignUniform(t *testing.T) {
+	got := warmupAssign(6, 3, nil)
+	counts := Proportions(got, 3)
+	for i, p := range counts {
+		if math.Abs(p-1.0/3) > 1e-12 {
+			t.Fatalf("expert %d warmup share %v", i, p)
+		}
+	}
+}
+
+func TestWarmupAssignProportional(t *testing.T) {
+	got := warmupAssign(100, 2, []float64{0.8, 0.2})
+	counts := Proportions(got, 2)
+	if math.Abs(counts[0]-0.8) > 0.02 || math.Abs(counts[1]-0.2) > 0.02 {
+		t.Fatalf("warmup shares %v, want ≈[0.8, 0.2]", counts)
+	}
+}
+
+func TestTrainWithNonUniformShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	ds := smallDigits(400, 51)
+	cfg := smallConfig(2)
+	cfg.Epochs = 40
+	cfg.ExpertLR = 0.05
+	cfg.TargetShares = []float64{0.7, 0.3}
+	cfg.BalanceGuard = true // enforce the shares exactly per batch
+	cfg.WarmupIterations = 10
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, hist := tr.Train(ds)
+	final := hist.FinalCumulative()
+	if math.Abs(final[0]-0.7) > 0.1 {
+		t.Fatalf("cumulative %v, want ≈[0.7, 0.3]", final)
+	}
+	if acc := team.Accuracy(ds.X, ds.Y); acc < 0.5 {
+		t.Fatalf("non-uniform team accuracy %v", acc)
+	}
+}
+
+func TestBalancedAssignMeetsTargetsExactly(t *testing.T) {
+	rng := tensor.NewRNG(61)
+	h := rng.RandUniform(0.1, 2, 100, 4)
+	delta := []float64{1, 1, 1, 1}
+	target := []float64{0.4, 0.3, 0.2, 0.1}
+	assign := BalancedAssign(h, delta, target)
+	props := Proportions(assign, 4)
+	for i, p := range props {
+		if math.Abs(p-target[i]) > 0.011 { // ±1 sample of 100
+			t.Fatalf("expert %d got %v, target %v", i, p, target[i])
+		}
+	}
+}
+
+func TestBalancedAssignPrefersSpecialists(t *testing.T) {
+	// Two experts, balanced targets; samples 0-4 clearly favor expert 0,
+	// samples 5-9 expert 1. The capacity solver must honour preferences.
+	h := tensor.New(10, 2)
+	for x := 0; x < 10; x++ {
+		if x < 5 {
+			h.Set(0.1, x, 0)
+			h.Set(2.0, x, 1)
+		} else {
+			h.Set(2.0, x, 0)
+			h.Set(0.1, x, 1)
+		}
+	}
+	assign := BalancedAssign(h, []float64{1, 1}, []float64{0.5, 0.5})
+	for x := 0; x < 10; x++ {
+		want := 0
+		if x >= 5 {
+			want = 1
+		}
+		if assign[x] != want {
+			t.Fatalf("sample %d assigned to %d, want %d", x, assign[x], want)
+		}
+	}
+}
+
+func TestBalancedAssignNegativeTargetClamped(t *testing.T) {
+	// Strong over-correction can push Eq. (4) targets negative; capacities
+	// must clamp to zero rather than panic.
+	rng := tensor.NewRNG(62)
+	h := rng.RandUniform(0.1, 2, 20, 2)
+	assign := BalancedAssign(h, []float64{1, 1}, []float64{1.2, -0.2})
+	props := Proportions(assign, 2)
+	if props[0] < 0.99 {
+		t.Fatalf("expert 0 should receive everything, got %v", props)
+	}
+}

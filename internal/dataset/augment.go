@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Augmenter applies standard image-classification training augmentation —
+// random integer shifts and horizontal flips — to mini-batches. The paper's
+// Shake-Shake CIFAR-10 training uses exactly this family; here it
+// regularizes the Full-scale CNN runs.
+//
+// Augmentation happens on batch copies (Batches already copies rows), so
+// the source dataset is never mutated and evaluation data stays pristine.
+type Augmenter struct {
+	// MaxShift is the maximum absolute pixel shift in each axis.
+	MaxShift int
+	// FlipH enables random horizontal mirroring (sensible for objects, not
+	// for digits).
+	FlipH bool
+}
+
+// Apply augments every sample of the batch in place using rng.
+func (a Augmenter) Apply(b Batch, c, h, w int, rng *tensor.RNG) {
+	if a.MaxShift == 0 && !a.FlipH {
+		return
+	}
+	for i := 0; i < len(b.Y); i++ {
+		row := b.X.RowSlice(i)
+		if a.MaxShift > 0 {
+			dx := rng.Intn(2*a.MaxShift+1) - a.MaxShift
+			dy := rng.Intn(2*a.MaxShift+1) - a.MaxShift
+			if dx != 0 || dy != 0 {
+				shiftImage(row, c, h, w, dx, dy)
+			}
+		}
+		if a.FlipH && rng.Intn(2) == 1 {
+			flipImage(row, c, h, w)
+		}
+	}
+}
+
+// shiftImage translates an NCHW-flattened image by (dx, dy), filling
+// exposed pixels with zero.
+func shiftImage(img []float64, c, h, w, dx, dy int) {
+	tmp := make([]float64, h*w)
+	for ch := 0; ch < c; ch++ {
+		plane := img[ch*h*w : (ch+1)*h*w]
+		copy(tmp, plane)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				sy, sx := y-dy, x-dx
+				if sy >= 0 && sy < h && sx >= 0 && sx < w {
+					plane[y*w+x] = tmp[sy*w+sx]
+				} else {
+					plane[y*w+x] = 0
+				}
+			}
+		}
+	}
+}
+
+// flipImage mirrors an NCHW-flattened image horizontally.
+func flipImage(img []float64, c, h, w int) {
+	for ch := 0; ch < c; ch++ {
+		plane := img[ch*h*w : (ch+1)*h*w]
+		for y := 0; y < h; y++ {
+			row := plane[y*w : (y+1)*w]
+			for x, xx := 0, w-1; x < xx; x, xx = x+1, xx-1 {
+				row[x], row[xx] = row[xx], row[x]
+			}
+		}
+	}
+}
+
+// AugmentedBatches is Batches followed by in-place augmentation of every
+// batch.
+func (d *Dataset) AugmentedBatches(batchSize int, aug Augmenter, rng *tensor.RNG) []Batch {
+	batches := d.Batches(batchSize, rng)
+	for _, b := range batches {
+		aug.Apply(b, d.C, d.H, d.W, rng)
+	}
+	return batches
+}

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func TestShiftImageKnown(t *testing.T) {
+	// 1-channel 2×2 image shifted right by 1: left column becomes zero.
+	img := []float64{1, 2, 3, 4}
+	shiftImage(img, 1, 2, 2, 1, 0)
+	want := []float64{0, 1, 0, 3}
+	for i, v := range want {
+		if img[i] != v {
+			t.Fatalf("shift = %v, want %v", img, want)
+		}
+	}
+}
+
+func TestShiftImageDownAndMultiChannel(t *testing.T) {
+	img := []float64{
+		1, 2, 3, 4, // channel 0
+		5, 6, 7, 8, // channel 1
+	}
+	shiftImage(img, 2, 2, 2, 0, 1)
+	want := []float64{0, 0, 1, 2, 0, 0, 5, 6}
+	for i, v := range want {
+		if img[i] != v {
+			t.Fatalf("shift = %v, want %v", img, want)
+		}
+	}
+}
+
+func TestFlipImageInvolution(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	img := rng.Randn(2 * 3 * 4).Data
+	orig := append([]float64(nil), img...)
+	flipImage(img, 2, 3, 4)
+	flipped := append([]float64(nil), img...)
+	flipImage(img, 2, 3, 4)
+	for i := range orig {
+		if img[i] != orig[i] {
+			t.Fatal("double flip is not identity")
+		}
+	}
+	same := true
+	for i := range orig {
+		if flipped[i] != orig[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("flip did nothing")
+	}
+}
+
+func TestAugmenterPreservesLabelsAndSource(t *testing.T) {
+	d := Digits(DigitsConfig{N: 40, H: 10, W: 10, Seed: 2})
+	before := d.X.Clone()
+	rng := tensor.NewRNG(3)
+	batches := d.AugmentedBatches(10, Augmenter{MaxShift: 2, FlipH: true}, rng)
+	if !d.X.Equal(before) {
+		t.Fatal("augmentation mutated the source dataset")
+	}
+	seen := 0
+	for _, b := range batches {
+		for i, idx := range b.Indices {
+			if b.Y[i] != d.Y[idx] {
+				t.Fatal("augmentation corrupted labels")
+			}
+			seen++
+		}
+	}
+	if seen != 40 {
+		t.Fatalf("augmented batches cover %d samples", seen)
+	}
+}
+
+func TestAugmenterZeroConfigIsIdentity(t *testing.T) {
+	d := Digits(DigitsConfig{N: 10, H: 8, W: 8, Seed: 4})
+	rng := tensor.NewRNG(5)
+	batches := d.AugmentedBatches(10, Augmenter{}, rng)
+	for _, b := range batches {
+		for i, idx := range b.Indices {
+			if !b.X.Row(i).Equal(d.X.Row(idx)) {
+				t.Fatal("zero augmenter changed pixels")
+			}
+		}
+	}
+}
+
+func TestAugmenterActuallyPerturbs(t *testing.T) {
+	d := Digits(DigitsConfig{N: 20, H: 10, W: 10, Seed: 6})
+	rng := tensor.NewRNG(7)
+	batches := d.AugmentedBatches(20, Augmenter{MaxShift: 2}, rng)
+	changed := 0
+	for _, b := range batches {
+		for i, idx := range b.Indices {
+			if !b.X.Row(i).Equal(d.X.Row(idx)) {
+				changed++
+			}
+		}
+	}
+	if changed < 10 {
+		t.Fatalf("only %d/20 samples perturbed", changed)
+	}
+}
+
+func TestAugmenterValuesBounded(t *testing.T) {
+	d := Objects(ObjectsConfig{N: 10, H: 8, W: 8, Seed: 8})
+	rng := tensor.NewRNG(9)
+	batches := d.AugmentedBatches(10, Augmenter{MaxShift: 3, FlipH: true}, rng)
+	for _, b := range batches {
+		if b.X.Min() < 0 || b.X.Max() > 1 {
+			t.Fatal("augmentation left pixel range")
+		}
+	}
+}

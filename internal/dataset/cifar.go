@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// CIFAR-10 binary-version loader (https://www.cs.toronto.edu/~kriz/cifar.html):
+// each record is 1 label byte followed by 3072 pixel bytes in
+// channel-major R,G,B order — already the NCHW layout this repository uses.
+
+const (
+	cifarH      = 32
+	cifarW      = 32
+	cifarC      = 3
+	cifarRecord = 1 + cifarC*cifarH*cifarW
+)
+
+// LoadCIFAR10 reads one or more CIFAR-10 binary batch files (plain or
+// gzipped) into a Dataset with pixels scaled to [0, 1]. maxN > 0 truncates
+// to the first maxN samples across all files.
+func LoadCIFAR10(paths []string, maxN int) (*Dataset, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dataset: no cifar batch files given")
+	}
+	var xRows [][]float64
+	var y []int
+	for _, path := range paths {
+		r, err := openMaybeGzip(path)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+		}
+		err = readCIFARBatch(r, maxN, &xRows, &y)
+		r.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		if maxN > 0 && len(y) >= maxN {
+			break
+		}
+	}
+	n := len(y)
+	if n == 0 {
+		return nil, fmt.Errorf("dataset: cifar files contained no records")
+	}
+	x := tensor.New(n, cifarC*cifarH*cifarW)
+	for i, row := range xRows {
+		copy(x.RowSlice(i), row)
+	}
+	return &Dataset{
+		Name: "cifar10", X: x, Y: y, Classes: 10,
+		ClassNames: append([]string(nil), ObjectClassNames...),
+		C:          cifarC, H: cifarH, W: cifarW,
+	}, nil
+}
+
+// readCIFARBatch appends records from one batch stream until EOF or maxN.
+func readCIFARBatch(r io.Reader, maxN int, xRows *[][]float64, y *[]int) error {
+	buf := make([]byte, cifarRecord)
+	for {
+		if maxN > 0 && len(*y) >= maxN {
+			return nil
+		}
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("truncated record at sample %d", len(*y))
+		}
+		if err != nil {
+			return err
+		}
+		label := int(buf[0])
+		if label > 9 {
+			return fmt.Errorf("label %d out of range at sample %d", label, len(*y))
+		}
+		row := make([]float64, cifarC*cifarH*cifarW)
+		for j, b := range buf[1:] {
+			row[j] = float64(b) / 255
+		}
+		*xRows = append(*xRows, row)
+		*y = append(*y, label)
+	}
+}

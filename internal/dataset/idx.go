@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Loaders for the real datasets the paper evaluates on. The offline build
+// ships synthetic stand-ins (digits.go, objects.go); when the actual files
+// are available, these loaders produce drop-in Datasets so every
+// experiment, tool and example runs on real MNIST/CIFAR-10 unchanged.
+//
+// MNIST uses the IDX format (http://yann.lecun.com/exdb/mnist/): a magic
+// declaring the element type and rank, big-endian dimensions, then raw
+// data. Gzipped files (.gz) are handled transparently.
+
+// idx magic: two zero bytes, a type byte (0x08 = unsigned byte), a rank byte.
+const (
+	idxTypeUint8 = 0x08
+)
+
+// readIDX parses an IDX stream of unsigned bytes, returning the dims and
+// flat payload.
+func readIDX(r io.Reader) (dims []int, data []byte, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("dataset: read idx magic: %w", err)
+	}
+	if magic[0] != 0 || magic[1] != 0 {
+		return nil, nil, fmt.Errorf("dataset: bad idx magic % x", magic)
+	}
+	if magic[2] != idxTypeUint8 {
+		return nil, nil, fmt.Errorf("dataset: unsupported idx element type 0x%02x (want 0x08 ubyte)", magic[2])
+	}
+	rank := int(magic[3])
+	if rank < 1 || rank > 4 {
+		return nil, nil, fmt.Errorf("dataset: implausible idx rank %d", rank)
+	}
+	dims = make([]int, rank)
+	total := 1
+	for i := range dims {
+		var d uint32
+		if err := binary.Read(r, binary.BigEndian, &d); err != nil {
+			return nil, nil, fmt.Errorf("dataset: read idx dim %d: %w", i, err)
+		}
+		if d == 0 || d > 1<<28 {
+			return nil, nil, fmt.Errorf("dataset: implausible idx dim %d", d)
+		}
+		dims[i] = int(d)
+		total *= int(d)
+	}
+	if total > 1<<30 {
+		return nil, nil, fmt.Errorf("dataset: idx payload %d too large", total)
+	}
+	data = make([]byte, total)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, nil, fmt.Errorf("dataset: read idx payload: %w", err)
+	}
+	return dims, data, nil
+}
+
+// openMaybeGzip opens path, transparently decompressing .gz files.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if filepath.Ext(path) != ".gz" {
+		return f, nil
+	}
+	gz, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: gzip %s: %w", path, err)
+	}
+	return &gzipFile{gz: gz, f: f}, nil
+}
+
+type gzipFile struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipFile) Read(p []byte) (int, error) { return g.gz.Read(p) }
+func (g *gzipFile) Close() error {
+	gerr := g.gz.Close()
+	ferr := g.f.Close()
+	if gerr != nil {
+		return gerr
+	}
+	return ferr
+}
+
+// LoadMNIST reads an MNIST image/label file pair (plain or gzipped IDX)
+// into a Dataset with pixels scaled to [0, 1]. maxN > 0 truncates to the
+// first maxN samples.
+func LoadMNIST(imagesPath, labelsPath string, maxN int) (*Dataset, error) {
+	ir, err := openMaybeGzip(imagesPath)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open images: %w", err)
+	}
+	defer ir.Close()
+	imgDims, imgData, err := readIDX(ir)
+	if err != nil {
+		return nil, err
+	}
+	if len(imgDims) != 3 {
+		return nil, fmt.Errorf("dataset: mnist images rank %d, want 3", len(imgDims))
+	}
+
+	lr, err := openMaybeGzip(labelsPath)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open labels: %w", err)
+	}
+	defer lr.Close()
+	labDims, labData, err := readIDX(lr)
+	if err != nil {
+		return nil, err
+	}
+	if len(labDims) != 1 {
+		return nil, fmt.Errorf("dataset: mnist labels rank %d, want 1", len(labDims))
+	}
+	n, h, w := imgDims[0], imgDims[1], imgDims[2]
+	if labDims[0] != n {
+		return nil, fmt.Errorf("dataset: %d images but %d labels", n, labDims[0])
+	}
+	if maxN > 0 && maxN < n {
+		n = maxN
+	}
+	x := tensor.New(n, h*w)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		src := imgData[i*h*w : (i+1)*h*w]
+		dst := x.RowSlice(i)
+		for j, b := range src {
+			dst[j] = float64(b) / 255
+		}
+		label := int(labData[i])
+		if label < 0 || label > 9 {
+			return nil, fmt.Errorf("dataset: mnist label %d out of range at sample %d", label, i)
+		}
+		y[i] = label
+	}
+	return &Dataset{
+		Name: "mnist", X: x, Y: y, Classes: 10,
+		ClassNames: []string{"0", "1", "2", "3", "4", "5", "6", "7", "8", "9"},
+		C:          1, H: h, W: w,
+	}, nil
+}

@@ -1,0 +1,213 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// writeIDXImages synthesizes an IDX ubyte image file.
+func writeIDXImages(t *testing.T, dir, name string, n, h, w int, gz bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0x08, 3})
+	for _, d := range []uint32{uint32(n), uint32(h), uint32(w)} {
+		binary.Write(&buf, binary.BigEndian, d) //nolint:errcheck // bytes.Buffer
+	}
+	for i := 0; i < n*h*w; i++ {
+		buf.WriteByte(byte(i % 256))
+	}
+	return writeMaybeGz(t, dir, name, buf.Bytes(), gz)
+}
+
+// writeIDXLabels synthesizes an IDX ubyte label file.
+func writeIDXLabels(t *testing.T, dir, name string, labels []byte, gz bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0x08, 1})
+	binary.Write(&buf, binary.BigEndian, uint32(len(labels))) //nolint:errcheck // bytes.Buffer
+	buf.Write(labels)
+	return writeMaybeGz(t, dir, name, buf.Bytes(), gz)
+}
+
+func writeMaybeGz(t *testing.T, dir, name string, data []byte, gz bool) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if gz {
+		path += ".gz"
+		var out bytes.Buffer
+		zw := gzip.NewWriter(&out)
+		if _, err := zw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data = out.Bytes()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadMNISTPlainAndGzip(t *testing.T) {
+	dir := t.TempDir()
+	for _, gz := range []bool{false, true} {
+		images := writeIDXImages(t, dir, "imgs", 5, 4, 4, gz)
+		labels := writeIDXLabels(t, dir, "labs", []byte{0, 1, 2, 3, 4}, gz)
+		ds, err := LoadMNIST(images, labels, 0)
+		if err != nil {
+			t.Fatalf("gz=%v: %v", gz, err)
+		}
+		if ds.Len() != 5 || ds.H != 4 || ds.W != 4 || ds.C != 1 {
+			t.Fatalf("gz=%v geometry: %+v", gz, ds)
+		}
+		if ds.Y[3] != 3 {
+			t.Fatalf("label wrong: %v", ds.Y)
+		}
+		// Pixel scaling: byte k → k/255.
+		if got := ds.X.At(0, 1); got != 1.0/255 {
+			t.Fatalf("pixel scale: %v", got)
+		}
+		if ds.X.Min() < 0 || ds.X.Max() > 1 {
+			t.Fatal("pixels out of range")
+		}
+	}
+}
+
+func TestLoadMNISTTruncateMaxN(t *testing.T) {
+	dir := t.TempDir()
+	images := writeIDXImages(t, dir, "imgs", 6, 2, 2, false)
+	labels := writeIDXLabels(t, dir, "labs", []byte{0, 1, 2, 3, 4, 5}, false)
+	ds, err := LoadMNIST(images, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("maxN ignored: %d", ds.Len())
+	}
+}
+
+func TestLoadMNISTValidation(t *testing.T) {
+	dir := t.TempDir()
+	images := writeIDXImages(t, dir, "imgs", 2, 2, 2, false)
+	// Count mismatch.
+	labels := writeIDXLabels(t, dir, "labs", []byte{1}, false)
+	if _, err := LoadMNIST(images, labels, 0); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	// Out-of-range label.
+	labels = writeIDXLabels(t, dir, "labs2", []byte{1, 200}, false)
+	if _, err := LoadMNIST(images, labels, 0); err == nil {
+		t.Fatal("label 200 accepted")
+	}
+	// Garbage magic.
+	bad := writeMaybeGz(t, dir, "bad", []byte{9, 9, 9, 9, 0, 0}, false)
+	if _, err := LoadMNIST(bad, labels, 0); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Missing file.
+	if _, err := LoadMNIST(filepath.Join(dir, "nope"), labels, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Wrong element type.
+	wrongType := writeMaybeGz(t, dir, "wt", []byte{0, 0, 0x0D, 3, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1}, false)
+	if _, err := LoadMNIST(wrongType, labels, 0); err == nil {
+		t.Fatal("float idx accepted")
+	}
+}
+
+// writeCIFARBatch synthesizes a CIFAR-10 binary batch.
+func writeCIFARBatch(t *testing.T, dir, name string, labels []byte, gz bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, lab := range labels {
+		buf.WriteByte(lab)
+		for j := 0; j < cifarC*cifarH*cifarW; j++ {
+			buf.WriteByte(byte((i + j) % 256))
+		}
+	}
+	return writeMaybeGz(t, dir, name, buf.Bytes(), gz)
+}
+
+func TestLoadCIFAR10MultiFile(t *testing.T) {
+	dir := t.TempDir()
+	b1 := writeCIFARBatch(t, dir, "batch1.bin", []byte{0, 1, 2}, false)
+	b2 := writeCIFARBatch(t, dir, "batch2.bin", []byte{3, 4}, true)
+	ds, err := LoadCIFAR10([]string{b1, b2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 5 || ds.C != 3 || ds.H != 32 {
+		t.Fatalf("geometry: len=%d c=%d h=%d", ds.Len(), ds.C, ds.H)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	for i, y := range want {
+		if ds.Y[i] != y {
+			t.Fatalf("labels %v", ds.Y)
+		}
+	}
+	if ds.ClassNames[0] != "airplane" {
+		t.Fatal("class names missing")
+	}
+	// maxN truncation across files.
+	ds, err = LoadCIFAR10([]string{b1, b2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 4 {
+		t.Fatalf("maxN across files: %d", ds.Len())
+	}
+}
+
+func TestLoadCIFAR10Validation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCIFAR10(nil, 0); err == nil {
+		t.Fatal("empty path list accepted")
+	}
+	// Truncated record.
+	trunc := writeMaybeGz(t, dir, "trunc.bin", make([]byte, cifarRecord-10), false)
+	if _, err := LoadCIFAR10([]string{trunc}, 0); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	// Label out of range.
+	bad := writeCIFARBatch(t, dir, "bad.bin", []byte{11}, false)
+	if _, err := LoadCIFAR10([]string{bad}, 0); err == nil {
+		t.Fatal("label 11 accepted")
+	}
+	// Empty file.
+	empty := writeMaybeGz(t, dir, "empty.bin", nil, false)
+	if _, err := LoadCIFAR10([]string{empty}, 0); err == nil {
+		t.Fatal("zero records accepted")
+	}
+}
+
+func TestLoadedDatasetsWorkWithPipeline(t *testing.T) {
+	// A loaded dataset must be a drop-in for the synthetic ones: splits,
+	// batches, expert specs.
+	dir := t.TempDir()
+	images := writeIDXImages(t, dir, "imgs", 40, 28, 28, false)
+	labs := make([]byte, 40)
+	for i := range labs {
+		labs[i] = byte(i % 10)
+	}
+	labels := writeIDXLabels(t, dir, "labs", labs, false)
+	ds, err := LoadMNIST(images, labels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.75, tensor.NewRNG(1))
+	if train.Len()+test.Len() != 40 {
+		t.Fatal("split lost samples")
+	}
+	batches := ds.Batches(16, tensor.NewRNG(2))
+	if len(batches) != 3 {
+		t.Fatalf("batches %d", len(batches))
+	}
+}

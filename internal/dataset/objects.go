@@ -1,0 +1,253 @@
+package dataset
+
+import (
+	"math"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// ObjectsConfig configures the synthetic colour-object generator, the
+// CIFAR-10 stand-in.
+type ObjectsConfig struct {
+	N     int     // total samples (balanced across the 10 classes)
+	H, W  int     // image size; 0 defaults to 32×32 like CIFAR-10
+	Noise float64 // pixel noise sigma; 0 defaults to 0.06
+	Seed  int64
+}
+
+func (c *ObjectsConfig) applyDefaults() {
+	if c.H == 0 {
+		c.H = 32
+	}
+	if c.W == 0 {
+		c.W = 32
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.06
+	}
+}
+
+// ObjectClassNames are the CIFAR-10 class names in canonical order.
+var ObjectClassNames = []string{
+	"airplane", "automobile", "bird", "cat", "deer",
+	"dog", "frog", "horse", "ship", "truck",
+}
+
+// IsMachine reports whether an object class belongs to the machines
+// super-category (airplane, automobile, ship, truck) as opposed to animals.
+// Figure 9 of the paper analyses expert specialization along this axis.
+func IsMachine(class int) bool {
+	switch class {
+	case 0, 1, 8, 9:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shape primitives. Every class silhouette is a union of a few primitives
+// in the unit square (x right, y down).
+const (
+	primEllipse = iota + 1 // a,b = centre; c,d = radii
+	primRect               // a,b = top-left; c,d = bottom-right
+)
+
+type prim struct {
+	kind       int
+	a, b, c, d float64
+}
+
+// classShapes gives each class a distinctive silhouette.
+var classShapes = [10][]prim{
+	{ // airplane: fuselage + wings + tail
+		{primEllipse, 0.5, 0.5, 0.36, 0.09},
+		{primEllipse, 0.5, 0.5, 0.08, 0.30},
+		{primRect, 0.80, 0.38, 0.88, 0.5},
+	},
+	{ // automobile: body + cabin + wheels
+		{primRect, 0.15, 0.45, 0.85, 0.68},
+		{primRect, 0.30, 0.30, 0.70, 0.45},
+		{primEllipse, 0.30, 0.70, 0.08, 0.08},
+		{primEllipse, 0.70, 0.70, 0.08, 0.08},
+	},
+	{ // bird: body + head + wing
+		{primEllipse, 0.48, 0.55, 0.18, 0.11},
+		{primEllipse, 0.68, 0.42, 0.08, 0.07},
+		{primEllipse, 0.42, 0.45, 0.12, 0.06},
+	},
+	{ // cat: body + head + ears
+		{primEllipse, 0.5, 0.62, 0.22, 0.16},
+		{primEllipse, 0.5, 0.36, 0.13, 0.12},
+		{primRect, 0.38, 0.20, 0.45, 0.32},
+		{primRect, 0.55, 0.20, 0.62, 0.32},
+	},
+	{ // deer: slim body + long legs + antlers
+		{primEllipse, 0.5, 0.48, 0.20, 0.10},
+		{primRect, 0.34, 0.55, 0.38, 0.88},
+		{primRect, 0.62, 0.55, 0.66, 0.88},
+		{primRect, 0.40, 0.14, 0.43, 0.40},
+		{primRect, 0.56, 0.14, 0.59, 0.40},
+	},
+	{ // dog: body + head + droopy ears
+		{primEllipse, 0.5, 0.60, 0.25, 0.15},
+		{primEllipse, 0.74, 0.42, 0.11, 0.10},
+		{primEllipse, 0.68, 0.52, 0.05, 0.10},
+		{primRect, 0.32, 0.72, 0.38, 0.90},
+		{primRect, 0.60, 0.72, 0.66, 0.90},
+	},
+	{ // frog: wide squat body + eye bumps
+		{primEllipse, 0.5, 0.68, 0.32, 0.14},
+		{primEllipse, 0.36, 0.50, 0.07, 0.07},
+		{primEllipse, 0.64, 0.50, 0.07, 0.07},
+	},
+	{ // horse: body + neck + legs
+		{primEllipse, 0.52, 0.50, 0.26, 0.12},
+		{primRect, 0.72, 0.25, 0.80, 0.52},
+		{primRect, 0.32, 0.60, 0.37, 0.90},
+		{primRect, 0.48, 0.60, 0.53, 0.90},
+		{primRect, 0.64, 0.60, 0.69, 0.90},
+	},
+	{ // ship: hull trapezoid (as rect) + mast + bridge
+		{primRect, 0.15, 0.60, 0.85, 0.78},
+		{primRect, 0.47, 0.22, 0.52, 0.60},
+		{primRect, 0.30, 0.45, 0.60, 0.60},
+	},
+	{ // truck: long body + cab + wheels
+		{primRect, 0.12, 0.35, 0.65, 0.68},
+		{primRect, 0.65, 0.45, 0.90, 0.68},
+		{primEllipse, 0.28, 0.72, 0.08, 0.08},
+		{primEllipse, 0.55, 0.72, 0.08, 0.08},
+		{primEllipse, 0.78, 0.72, 0.08, 0.08},
+	},
+}
+
+// classPalette gives each class a base RGB colour.
+var classPalette = [10][3]float64{
+	{0.75, 0.78, 0.85}, // airplane: silver
+	{0.80, 0.15, 0.15}, // automobile: red
+	{0.30, 0.45, 0.75}, // bird: blue
+	{0.55, 0.40, 0.25}, // cat: brown
+	{0.60, 0.45, 0.20}, // deer: tan
+	{0.45, 0.35, 0.30}, // dog: dark brown
+	{0.25, 0.60, 0.25}, // frog: green
+	{0.50, 0.30, 0.15}, // horse: chestnut
+	{0.55, 0.60, 0.70}, // ship: grey-blue
+	{0.85, 0.65, 0.15}, // truck: yellow
+}
+
+// Objects generates a balanced synthetic colour-object dataset with the
+// machine/animal super-category texture structure described in DESIGN.md:
+// machine classes render with smooth metallic shading on a sky background;
+// animal classes render with high-frequency fur texture on a ground
+// background. The statistics shared within a super-category are what let
+// TeamNet experts specialize per category (paper Figure 9).
+func Objects(cfg ObjectsConfig) *Dataset {
+	cfg.applyDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	features := 3 * cfg.H * cfg.W
+	x := tensor.New(cfg.N, features)
+	y := make([]int, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		class := i % 10
+		y[i] = class
+		renderObject(x.RowSlice(i), class, cfg.H, cfg.W, cfg.Noise, rng)
+	}
+	return &Dataset{
+		Name: "synth-objects", X: x, Y: y, Classes: 10,
+		ClassNames: append([]string(nil), ObjectClassNames...),
+		C:          3, H: cfg.H, W: cfg.W,
+	}
+}
+
+// renderObject draws one jittered, textured object into dst (3·H·W floats,
+// channel-major NCHW).
+func renderObject(dst []float64, class, h, w int, noise float64, rng *tensor.RNG) {
+	machine := IsMachine(class)
+	// Per-sample jitter.
+	scale := rng.Uniform(0.85, 1.15)
+	tx := rng.Uniform(-0.06, 0.06)
+	ty := rng.Uniform(-0.06, 0.06)
+	colJit := [3]float64{rng.Uniform(-0.1, 0.1), rng.Uniform(-0.1, 0.1), rng.Uniform(-0.1, 0.1)}
+	texPhase := rng.Uniform(0, 2*math.Pi)
+	// Background: sky gradient for machines, mottled ground for animals.
+	var bg [3]float64
+	if machine {
+		bg = [3]float64{0.55, 0.65, 0.85}
+	} else {
+		bg = [3]float64{0.35, 0.45, 0.25}
+	}
+	plane := h * w
+	shapes := classShapes[class]
+	base := classPalette[class]
+	for py := 0; py < h; py++ {
+		v := (float64(py) + 0.5) / float64(h)
+		for px := 0; px < w; px++ {
+			u := (float64(px) + 0.5) / float64(w)
+			// Inverse-jitter the sample point into shape space.
+			su := (u-0.5-tx)/scale + 0.5
+			sv := (v-0.5-ty)/scale + 0.5
+			inside := false
+			for _, p := range shapes {
+				if insidePrim(p, su, sv) {
+					inside = true
+					break
+				}
+			}
+			var r, g, b float64
+			if inside {
+				r, g, b = base[0]+colJit[0], base[1]+colJit[1], base[2]+colJit[2]
+				if machine {
+					// Smooth metallic shading: low-frequency diagonal gradient.
+					shade := 0.15 * math.Sin(3*(su+sv)+texPhase)
+					r += shade
+					g += shade
+					b += shade
+				} else {
+					// Fur: high-frequency multiplicative texture.
+					fur := 0.22 * math.Sin(19*su+texPhase) * math.Sin(23*sv+texPhase*0.7)
+					fur += 0.10 * rng.Norm()
+					r += fur
+					g += fur
+					b += fur
+				}
+			} else {
+				grad := 0.12 * (v - 0.5)
+				r, g, b = bg[0]+grad, bg[1]+grad, bg[2]+grad
+				if !machine {
+					m := 0.06 * rng.Norm()
+					r += m
+					g += m
+					b += m
+				}
+			}
+			r += noise * rng.Norm()
+			g += noise * rng.Norm()
+			b += noise * rng.Norm()
+			dst[0*plane+py*w+px] = clamp01(r)
+			dst[1*plane+py*w+px] = clamp01(g)
+			dst[2*plane+py*w+px] = clamp01(b)
+		}
+	}
+}
+
+func insidePrim(p prim, u, v float64) bool {
+	switch p.kind {
+	case primEllipse:
+		du, dv := (u-p.a)/p.c, (v-p.b)/p.d
+		return du*du+dv*dv <= 1
+	case primRect:
+		return u >= p.a && v >= p.b && u <= p.c && v <= p.d
+	default:
+		return false
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

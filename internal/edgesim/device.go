@@ -1,0 +1,89 @@
+// Package edgesim models the paper's physical testbed — Raspberry Pi 3B+
+// and Jetson TX2 edge devices connected by WiFi — as an analytic cost
+// model, per the reproduction's substitution rules (DESIGN.md §1).
+//
+// The model is deliberately mechanistic rather than fitted: inference
+// latency is (real FLOP count of the architecture) / (device throughput)
+// plus per-message network costs computed from the real byte counts the
+// transport layer produces. Device throughputs and link parameters are
+// calibrated once against the paper's baseline rows (Table I/II) and then
+// held fixed for every method, so relative comparisons — who wins, by what
+// factor — are driven entirely by the implemented algorithms' real compute
+// and communication structure.
+package edgesim
+
+import "fmt"
+
+// Device models one edge node's processing and memory capacity.
+type Device struct {
+	Name string
+	// CPUFlops is the effective CPU inference throughput in FLOP/s. The
+	// small values (relative to hardware peaks) reflect the framework
+	// overhead the paper's TensorFlow-on-edge stack pays on small models.
+	CPUFlops float64
+	// GPUFlops is the effective GPU throughput (0 if no GPU).
+	GPUFlops float64
+	// GPULaunchSec is the fixed per-inference GPU dispatch overhead, which
+	// dominates tiny models (why the paper's Jetson-GPU MNIST baseline is
+	// 0.3 ms rather than microseconds).
+	GPULaunchSec float64
+	// MemBytes is device RAM.
+	MemBytes int64
+	// BaseMemFrac and BaseCPUFrac are the OS + runtime idle baselines.
+	BaseMemFrac float64
+	BaseCPUFrac float64
+}
+
+// HasGPU reports whether the device models a GPU execution mode.
+func (d Device) HasGPU() bool { return d.GPUFlops > 0 }
+
+// ComputeTime returns the modeled seconds to execute flops on the device.
+func (d Device) ComputeTime(flops float64, gpu bool) float64 {
+	if gpu {
+		if !d.HasGPU() {
+			panic(fmt.Sprintf("edgesim: device %s has no GPU", d.Name))
+		}
+		return d.GPULaunchSec + flops/d.GPUFlops
+	}
+	return flops / d.CPUFlops
+}
+
+// Calibrated device profiles. CPU throughputs are set so that the paper's
+// baseline models land at the paper's baseline latencies (MLP-8 ≈ 3.4 ms on
+// Jetson CPU, SS-26 ≈ 378 ms on Jetson CPU, ≈ 14 ms on Jetson GPU), and the
+// Raspberry Pi is ≈ 5× slower than the Jetson CPU, matching the boards'
+// relative inference speed.
+
+// RaspberryPi3B models the Raspberry Pi 3 Model B+ (Figure 5's platform).
+func RaspberryPi3B() Device {
+	return Device{
+		Name:        "raspberry-pi-3b+",
+		CPUFlops:    70e6,
+		MemBytes:    1 << 30, // 1 GiB
+		BaseMemFrac: 0.045,
+		BaseCPUFrac: 0.03,
+	}
+}
+
+// JetsonTX2CPU models the Jetson TX2 running inference on CPU cores only
+// (Tables I(a), II(a)).
+func JetsonTX2CPU() Device {
+	return Device{
+		Name:        "jetson-tx2-cpu",
+		CPUFlops:    350e6,
+		MemBytes:    8 << 30, // 8 GiB
+		BaseMemFrac: 0.035,
+		BaseCPUFrac: 0.02,
+	}
+}
+
+// JetsonTX2GPU models the Jetson TX2 with CUDA inference (Tables I(b),
+// II(b)): high throughput once launched, but a fixed dispatch cost that
+// dwarfs tiny MLPs.
+func JetsonTX2GPU() Device {
+	d := JetsonTX2CPU()
+	d.Name = "jetson-tx2-gpu"
+	d.GPUFlops = 20e9
+	d.GPULaunchSec = 0.00025
+	return d
+}

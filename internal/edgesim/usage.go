@@ -1,0 +1,93 @@
+package edgesim
+
+// Usage is the per-device resource report the paper's tables show alongside
+// latency: memory, CPU and (when applicable) GPU utilization percentages.
+type Usage struct {
+	MemPct float64
+	CPUPct float64
+	GPUPct float64
+}
+
+// UsageInputs describes one device's share of an inference workload.
+type UsageInputs struct {
+	// ModelBytes is the deployed model size on this device.
+	ModelBytes int64
+	// ActivationBytes is the peak activation footprint per inference.
+	ActivationBytes int64
+	// ComputeSec and CommSec are this device's per-inference compute and
+	// communication times.
+	ComputeSec float64
+	CommSec    float64
+	// GPU marks compute running on the GPU (CPU then only handles
+	// serialization and framework work).
+	GPU bool
+	// BusyComm marks transports that spin while communicating (MPI).
+	BusyComm bool
+}
+
+// runtimeOverheadFactor inflates raw model bytes to the resident footprint
+// of a model loaded in an edge inference runtime (graph structure, buffers,
+// allocator slack) — calibrated against the paper's memory columns, where
+// even small MLPs occupy several hundred MB of a Jetson's RAM under
+// TensorFlow.
+const runtimeOverheadFactor = 40
+
+// frameworkFloorBytes is the fixed interpreter/framework residency beyond
+// the per-model bytes.
+const frameworkFloorBytes = 180 << 20
+
+// Utilization weights, calibrated once against the paper's baseline rows.
+// They encode that "usage" in the paper is a device-wide sampling average:
+// a single-threaded inference does not pin all cores, a busy GPU kernel
+// does not register as 100% in tegrastats, and blocking transports sleep
+// through waits while MPI progress engines poll.
+const (
+	computeCPUWeight    = 0.55 // share of cores a CPU inference keeps busy
+	serializeWeight     = 0.30 // CPU cost of marshalling per comm second
+	busyWaitWeight      = 0.50 // CPU burned per comm second by polling stacks
+	gpuDutyWeight       = 0.35 // sampled GPU% per second of kernel residency
+	gpuHostBaseFrac     = 0.15 // host-side framework work while driving a GPU
+	gpuHostLaunchWeight = 0.30 // host cost of kernel dispatch
+)
+
+// EstimateUsage converts a workload description into utilization
+// percentages on the device. The model is utilization-as-duty-cycle: during
+// continuous inference, CPU% is the fraction of wall time the CPU is busy
+// (compute on CPU profiles, dispatch + serialization on GPU profiles,
+// busy-waiting on MPI transports), GPU% the weighted fraction the GPU holds
+// a kernel.
+func EstimateUsage(d Device, in UsageInputs) Usage {
+	total := in.ComputeSec + in.CommSec
+	var u Usage
+	mem := float64(frameworkFloorBytes+in.ModelBytes*runtimeOverheadFactor+in.ActivationBytes) / float64(d.MemBytes)
+	u.MemPct = 100 * (d.BaseMemFrac + mem)
+	if u.MemPct > 100 {
+		u.MemPct = 100
+	}
+	if total <= 0 {
+		u.CPUPct = 100 * d.BaseCPUFrac
+		return u
+	}
+	serialize := serializeWeight * in.CommSec
+	if in.BusyComm {
+		serialize = busyWaitWeight * in.CommSec
+	}
+	if in.GPU {
+		gpuBusy := in.ComputeSec - d.GPULaunchSec
+		if gpuBusy < 0 {
+			gpuBusy = 0
+		}
+		u.GPUPct = 100 * gpuDutyWeight * gpuBusy / total
+		host := gpuHostBaseFrac + gpuHostLaunchWeight*d.GPULaunchSec/total + serialize/total
+		u.CPUPct = 100 * (d.BaseCPUFrac + host)
+	} else {
+		u.CPUPct = 100 * (d.BaseCPUFrac + (computeCPUWeight*in.ComputeSec+serialize)/total)
+	}
+	if u.CPUPct > 100 {
+		u.CPUPct = 100
+	}
+	if u.GPUPct > 100 {
+		u.GPUPct = 100
+	}
+	return u
+}

@@ -1,0 +1,103 @@
+// Package metrics provides the small measurement kit the live benchmarks
+// and CLI tools use: duration summaries with percentiles and monotonic
+// stopwatches. The simulated experiments (internal/bench) produce modeled
+// times instead; this package measures the real thing when the runtime
+// executes over actual sockets.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Summary accumulates duration observations and reports order statistics.
+// The zero value is ready to use. Not safe for concurrent use.
+type Summary struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe records one duration.
+func (s *Summary) Observe(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Mean returns the average duration, or 0 with no samples.
+func (s *Summary) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.samples {
+		total += d
+	}
+	return total / time.Duration(len(s.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) by
+// nearest-rank, or 0 with no samples.
+func (s *Summary) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	rank := int(p/100*float64(len(s.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.samples) {
+		rank = len(s.samples) - 1
+	}
+	return s.samples[rank]
+}
+
+// Min returns the smallest observation, or 0 with no samples.
+func (s *Summary) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.Percentile(0.0001)
+}
+
+// Max returns the largest observation, or 0 with no samples.
+func (s *Summary) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.Percentile(100)
+}
+
+// String renders a one-line digest.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Max())
+}
+
+// Stopwatch measures elapsed monotonic time.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch returns a running stopwatch.
+func NewStopwatch() *Stopwatch { return &Stopwatch{start: time.Now()} }
+
+// Elapsed returns time since start (or the last Reset).
+func (w *Stopwatch) Elapsed() time.Duration { return time.Since(w.start) }
+
+// Reset restarts the stopwatch.
+func (w *Stopwatch) Reset() { w.start = time.Now() }
+
+// Timed runs fn and returns its duration.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

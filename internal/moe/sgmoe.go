@@ -1,0 +1,369 @@
+// Package moe implements the Sparsely-Gated Mixture-of-Experts baseline
+// (Shazeer et al., the paper's reference [6]) that TeamNet is compared
+// against in Tables I and II: K experts combined by a trainable gating
+// network with noisy top-k selection, trained jointly end-to-end.
+//
+// The contrast with TeamNet (internal/core) is architectural: SG-MoE routes
+// by a learned gate that sees the raw input and is trained jointly with the
+// experts (so data assignment is gate-noise driven and specialization is
+// not enforced), while TeamNet routes by each expert's own predictive
+// entropy with a controller that forces balanced specialization. At the
+// edge, SG-MoE also needs the gate evaluated before experts can be
+// selected, which serializes a gate hop into every inference
+// (internal/cluster).
+package moe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/teamnet/teamnet/internal/dataset"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Config parameterizes SG-MoE training.
+type Config struct {
+	// K is the number of experts.
+	K int
+	// TopK is how many experts the gate keeps per sample (noisy top-k
+	// gating); clamped to K.
+	TopK int
+	// ExpertSpec is the per-expert architecture.
+	ExpertSpec nn.Spec
+	// GateHidden is the hidden width of the gating network.
+	GateHidden int
+	// Epochs, BatchSize, LR control the joint optimization.
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// NoiseStd is the training-time gating noise (σ of the Gaussian added
+	// to gate logits), the source of SG-MoE's random-ish assignment.
+	NoiseStd float64
+	// LoadBalanceWeight scales the importance (CV²) auxiliary loss.
+	LoadBalanceWeight float64
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Validate applies defaults and rejects invalid settings.
+func (c *Config) Validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("moe: K must be ≥ 2, got %d", c.K)
+	}
+	if c.TopK <= 0 {
+		c.TopK = 2
+	}
+	if c.TopK > c.K {
+		c.TopK = c.K
+	}
+	if c.GateHidden <= 0 {
+		c.GateHidden = 32
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.NoiseStd < 0 {
+		return fmt.Errorf("moe: negative noise std %v", c.NoiseStd)
+	}
+	if c.NoiseStd == 0 {
+		c.NoiseStd = 1.0
+	}
+	if c.LoadBalanceWeight < 0 {
+		return fmt.Errorf("moe: negative load-balance weight %v", c.LoadBalanceWeight)
+	}
+	if c.LoadBalanceWeight == 0 {
+		c.LoadBalanceWeight = 0.1
+	}
+	return nil
+}
+
+// SGMoE is a trained sparsely-gated mixture of experts.
+type SGMoE struct {
+	Experts []*nn.Network
+	Gate    *nn.Network // input → K gate logits
+	Cfg     Config
+	Classes int
+}
+
+// K returns the number of experts.
+func (m *SGMoE) K() int { return len(m.Experts) }
+
+// GateSelect evaluates the gating network (noise-free, inference mode) and
+// returns, per sample, the top-k expert indices and their normalized
+// weights. The distributed runtimes use this to decide which edge nodes to
+// involve — the gate hop that precedes every SG-MoE inference.
+func (m *SGMoE) GateSelect(x *tensor.Tensor) (indices [][]int, weights [][]float64) {
+	logits := m.Gate.Forward(x, false)
+	batch := x.Shape[0]
+	indices = make([][]int, batch)
+	weights = make([][]float64, batch)
+	for b := 0; b < batch; b++ {
+		idx, w := topKSoftmax(logits.RowSlice(b), m.Cfg.TopK)
+		indices[b] = idx
+		weights[b] = w
+	}
+	return indices, weights
+}
+
+// topKSoftmax keeps the k largest logits and softmaxes them; the rest get
+// zero weight (Shazeer's keep_top_k).
+func topKSoftmax(logits []float64, k int) ([]int, []float64) {
+	n := len(logits)
+	if k > n {
+		k = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return logits[order[a]] > logits[order[b]] })
+	kept := order[:k]
+	maxV := logits[kept[0]]
+	ws := make([]float64, k)
+	sum := 0.0
+	for i, idx := range kept {
+		w := math.Exp(logits[idx] - maxV)
+		ws[i] = w
+		sum += w
+	}
+	for i := range ws {
+		ws[i] /= sum
+	}
+	idx := append([]int(nil), kept...)
+	return idx, ws
+}
+
+// Predict combines the top-k experts' probabilities with the gate weights,
+// evaluating only selected experts (sparse dispatch, as deployed).
+func (m *SGMoE) Predict(x *tensor.Tensor) *tensor.Tensor {
+	batch := x.Shape[0]
+	indices, weights := m.GateSelect(x)
+	// Group samples by expert so each expert runs once per batch.
+	perExpert := make([][]int, m.K())
+	for b, idx := range indices {
+		for _, e := range idx {
+			perExpert[e] = append(perExpert[e], b)
+		}
+	}
+	out := tensor.New(batch, m.Classes)
+	for e, rows := range perExpert {
+		if len(rows) == 0 {
+			continue
+		}
+		probs := m.Experts[e].Predict(x.SelectRows(rows))
+		for ri, b := range rows {
+			// Find this expert's weight for sample b.
+			w := 0.0
+			for j, ei := range indices[b] {
+				if ei == e {
+					w = weights[b][j]
+					break
+				}
+			}
+			dst := out.RowSlice(b)
+			src := probs.RowSlice(ri)
+			for c := range dst {
+				dst[c] += w * src[c]
+			}
+		}
+	}
+	return out
+}
+
+// Accuracy evaluates classification accuracy of the mixture.
+func (m *SGMoE) Accuracy(x *tensor.Tensor, y []int) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	probs := m.Predict(x)
+	correct := 0
+	for i, label := range y {
+		if probs.Row(i).ArgMax() == label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// Train jointly optimizes the gate and experts on ds (cross-entropy of the
+// mixture plus the importance load-balancing loss) and returns the model.
+func Train(cfg Config, ds *dataset.Dataset) (*SGMoE, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	experts := make([]*nn.Network, cfg.K)
+	for i := range experts {
+		e, err := cfg.ExpertSpec.Build(rng.Split(int64(i + 1)))
+		if err != nil {
+			return nil, fmt.Errorf("moe: build expert %d: %w", i, err)
+		}
+		experts[i] = e
+	}
+	gate := nn.NewNetwork("sg-gate",
+		nn.NewDense(ds.Features(), cfg.GateHidden, rng.Split(-3)),
+		nn.NewReLU(),
+		nn.NewDense(cfg.GateHidden, cfg.K, rng.Split(-4)),
+	)
+	m := &SGMoE{Experts: experts, Gate: gate, Cfg: cfg, Classes: ds.Classes}
+
+	expertOpts := make([]nn.Optimizer, cfg.K)
+	for i := range expertOpts {
+		expertOpts[i] = nn.NewAdam(cfg.LR)
+	}
+	gateOpt := nn.NewAdam(cfg.LR)
+	noiseRNG := rng.Split(-5)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, batch := range ds.Batches(cfg.BatchSize, rng) {
+			m.trainBatch(batch, expertOpts, gateOpt, noiseRNG)
+		}
+	}
+	return m, nil
+}
+
+// trainBatch performs one joint gradient step.
+func (m *SGMoE) trainBatch(batch dataset.Batch, expertOpts []nn.Optimizer, gateOpt nn.Optimizer, noiseRNG *tensor.RNG) {
+	k := m.K()
+	batchN := len(batch.Y)
+	cfg := m.Cfg
+
+	// Gate forward with training noise.
+	gateLogits := m.Gate.Forward(batch.X, true)
+	noisy := gateLogits.Clone()
+	for i := range noisy.Data {
+		noisy.Data[i] += cfg.NoiseStd * noiseRNG.Norm()
+	}
+
+	// Dense (all-expert) forward: every expert sees the whole batch during
+	// training, as in the reference implementation's dense backward.
+	expertLogits := make([]*tensor.Tensor, k)
+	expertProbs := make([]*tensor.Tensor, k)
+	for e := 0; e < k; e++ {
+		m.Experts[e].ZeroGrads()
+		expertLogits[e] = m.Experts[e].Forward(batch.X, true)
+		expertProbs[e] = tensor.SoftmaxRows(expertLogits[e])
+	}
+	m.Gate.ZeroGrads()
+
+	// Per-sample top-k gate weights from the noisy logits.
+	gateW := tensor.New(batchN, k) // zero outside top-k
+	kept := make([][]int, batchN)
+	for b := 0; b < batchN; b++ {
+		idx, ws := topKSoftmax(noisy.RowSlice(b), cfg.TopK)
+		kept[b] = idx
+		for j, e := range idx {
+			gateW.Set(ws[j], b, e)
+		}
+	}
+
+	// Mixture probability of the true class per sample.
+	mix := make([]float64, batchN)
+	for b, y := range batch.Y {
+		s := 0.0
+		for _, e := range kept[b] {
+			s += gateW.At(b, e) * expertProbs[e].At(b, y)
+		}
+		mix[b] = math.Max(s, 1e-12)
+	}
+
+	// Expert gradients: dL/dlogit_e[c] = -(g_e·p_e[y]/mix)·(1[c=y]-p_e[c])/N.
+	inv := 1 / float64(batchN)
+	for e := 0; e < k; e++ {
+		grad := tensor.New(batchN, m.Classes)
+		for b, y := range batch.Y {
+			g := gateW.At(b, e)
+			if g == 0 {
+				continue
+			}
+			coef := -g * expertProbs[e].At(b, y) / mix[b] * inv
+			row := grad.RowSlice(b)
+			probsRow := expertProbs[e].RowSlice(b)
+			for c := range row {
+				ind := 0.0
+				if c == y {
+					ind = 1
+				}
+				row[c] = coef * (ind - probsRow[c])
+			}
+		}
+		m.Experts[e].Backward(grad)
+		nn.ClipGrads(m.Experts[e].Grads(), 5)
+		expertOpts[e].Step(m.Experts[e].Params(), m.Experts[e].Grads())
+	}
+
+	// Gate gradients: cross-entropy term plus the importance (CV²)
+	// load-balancing term, both through the top-k softmax.
+	importance := make([]float64, k)
+	for e := 0; e < k; e++ {
+		for b := 0; b < batchN; b++ {
+			importance[e] += gateW.At(b, e)
+		}
+	}
+	impMean := 0.0
+	for _, v := range importance {
+		impMean += v
+	}
+	impMean /= float64(k)
+
+	gateGrad := tensor.New(batchN, k)
+	for b, y := range batch.Y {
+		// dL/dg_e for kept experts.
+		dLdg := make([]float64, k)
+		for _, e := range kept[b] {
+			dLdg[e] = -expertProbs[e].At(b, y) / mix[b] * inv
+			// Load-balance: dCV²/dimportance_e, importance_e = Σ_b g_e.
+			if impMean > 1e-12 {
+				dCV := 2 * (importance[e] - impMean) / (float64(k) * impMean * impMean)
+				dLdg[e] += cfg.LoadBalanceWeight * dCV
+			}
+		}
+		// Through the restricted softmax: dg_i/dlogit_j = g_i(δ_ij - g_j)
+		// for i, j in the kept set.
+		for _, j := range kept[b] {
+			s := 0.0
+			gj := gateW.At(b, j)
+			for _, i := range kept[b] {
+				gi := gateW.At(b, i)
+				delta := 0.0
+				if i == j {
+					delta = 1
+				}
+				s += dLdg[i] * gi * (delta - gj)
+			}
+			gateGrad.Set(s, b, j)
+		}
+	}
+	m.Gate.Backward(gateGrad)
+	nn.ClipGrads(m.Gate.Grads(), 5)
+	gateOpt.Step(m.Gate.Params(), m.Gate.Grads())
+}
+
+// AssignmentEntropy measures how spread the gate's top-1 choices are over a
+// dataset: the entropy (nats) of the expert-usage histogram. High values
+// mean diffuse, weakly-specialized routing — the behaviour the paper
+// contrasts with TeamNet's entropy-driven specialization.
+func (m *SGMoE) AssignmentEntropy(x *tensor.Tensor) float64 {
+	indices, _ := m.GateSelect(x)
+	counts := make([]float64, m.K())
+	for _, idx := range indices {
+		counts[idx[0]]++
+	}
+	total := float64(len(indices))
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,194 @@
+package moe
+
+import (
+	"math"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/dataset"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func smallCfg(k int) Config {
+	return Config{
+		K: k,
+		ExpertSpec: nn.Spec{Kind: "mlp", MLP: &nn.MLPSpec{
+			Label: "MLP-2", Input: 144, Width: 32, Layers: 2, Classes: 10,
+		}},
+		Epochs:    4,
+		BatchSize: 40,
+		LR:        0.01,
+		Seed:      5,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := smallCfg(2)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TopK != 2 || cfg.NoiseStd != 1.0 || cfg.LoadBalanceWeight != 0.1 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	cfg.K = 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+	cfg = smallCfg(2)
+	cfg.TopK = 9
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TopK != 2 {
+		t.Fatalf("TopK not clamped to K: %d", cfg.TopK)
+	}
+	cfg = smallCfg(2)
+	cfg.NoiseStd = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+}
+
+func TestTopKSoftmax(t *testing.T) {
+	idx, w := topKSoftmax([]float64{0.1, 3.0, 2.0, -1}, 2)
+	if idx[0] != 1 || idx[1] != 2 {
+		t.Fatalf("top-2 indices %v", idx)
+	}
+	if math.Abs(w[0]+w[1]-1) > 1e-12 {
+		t.Fatalf("weights %v do not sum to 1", w)
+	}
+	if w[0] <= w[1] {
+		t.Fatalf("weights not ordered: %v", w)
+	}
+	// k > n clamps.
+	idx, w = topKSoftmax([]float64{1, 2}, 5)
+	if len(idx) != 2 || len(w) != 2 {
+		t.Fatalf("clamp failed: %v %v", idx, w)
+	}
+}
+
+func TestTrainImprovesAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	ds := dataset.Digits(dataset.DigitsConfig{N: 500, H: 12, W: 12, Seed: 2})
+	train, test := ds.Split(0.8, tensor.NewRNG(1))
+	m, err := Train(smallCfg(2), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := m.Accuracy(test.X, test.Y)
+	if acc < 0.4 {
+		t.Fatalf("SG-MoE accuracy %v after training; barely above chance", acc)
+	}
+}
+
+func TestPredictIsProbability(t *testing.T) {
+	ds := dataset.Digits(dataset.DigitsConfig{N: 60, H: 12, W: 12, Seed: 3})
+	cfg := smallCfg(2)
+	cfg.Epochs = 1
+	m, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := m.Predict(ds.X.SelectRows([]int{0, 1, 2, 3}))
+	for b := 0; b < 4; b++ {
+		sum := 0.0
+		for _, v := range probs.RowSlice(b) {
+			if v < -1e-12 {
+				t.Fatalf("negative probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", b, sum)
+		}
+	}
+}
+
+func TestGateSelectTopKCount(t *testing.T) {
+	ds := dataset.Digits(dataset.DigitsConfig{N: 40, H: 12, W: 12, Seed: 4})
+	cfg := smallCfg(4)
+	cfg.TopK = 2
+	cfg.Epochs = 1
+	m, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices, weights := m.GateSelect(ds.X.SelectRows([]int{0, 1, 2}))
+	for b := range indices {
+		if len(indices[b]) != 2 || len(weights[b]) != 2 {
+			t.Fatalf("sample %d selected %d experts, want 2", b, len(indices[b]))
+		}
+		if indices[b][0] == indices[b][1] {
+			t.Fatal("duplicate expert selected")
+		}
+		sum := weights[b][0] + weights[b][1]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("weights sum %v", sum)
+		}
+	}
+}
+
+func TestLoadBalancingSpreadsUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	ds := dataset.Digits(dataset.DigitsConfig{N: 400, H: 12, W: 12, Seed: 6})
+	cfg := smallCfg(4)
+	cfg.Epochs = 6
+	m, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the importance loss, top-1 usage must not collapse to a single
+	// expert: usage entropy well above 0 (max for K=4 is ln 4 ≈ 1.386).
+	h := m.AssignmentEntropy(ds.X)
+	if h < 0.5 {
+		t.Fatalf("gate usage entropy %v — experts collapsed", h)
+	}
+}
+
+func TestTrainDeterministicWithSeed(t *testing.T) {
+	ds := dataset.Digits(dataset.DigitsConfig{N: 100, H: 12, W: 12, Seed: 7})
+	cfg := smallCfg(2)
+	cfg.Epochs = 1
+	a, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.X.SelectRows([]int{0, 5, 9})
+	if !a.Predict(x).AllClose(b.Predict(x), 1e-12) {
+		t.Fatal("same-seed SG-MoE training not deterministic")
+	}
+}
+
+func TestSparseDispatchMatchesDenseMixture(t *testing.T) {
+	// Predict's grouped sparse dispatch must equal a naive per-sample
+	// evaluation.
+	ds := dataset.Digits(dataset.DigitsConfig{N: 50, H: 12, W: 12, Seed: 8})
+	cfg := smallCfg(4)
+	cfg.Epochs = 1
+	m, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.X.SelectRows([]int{0, 1, 2, 3, 4})
+	got := m.Predict(x)
+	indices, weights := m.GateSelect(x)
+	for b := 0; b < 5; b++ {
+		row := x.SelectRows([]int{b})
+		want := tensor.New(1, m.Classes)
+		for j, e := range indices[b] {
+			p := m.Experts[e].Predict(row)
+			want.AddScaled(p, weights[b][j])
+		}
+		if !got.Row(b).AllClose(want.Row(0), 1e-9) {
+			t.Fatalf("sample %d: sparse dispatch diverges from naive mixture", b)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package moe
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Bundle serialization for trained SG-MoE models, mirroring core.Team's
+// format: a JSON header (config, classes, gate architecture) followed by
+// the gate's and every expert's network snapshot. cmd/teamnet-moe writes
+// these; the SG-MoE serving runtimes load them.
+
+const moeMagic = "TNETMOE1\n"
+
+type moeHeader struct {
+	Cfg       Config `json:"cfg"`
+	Classes   int    `json:"classes"`
+	GateInput int    `json:"gateInput"`
+}
+
+// Save writes the model bundle.
+func (m *SGMoE) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(moeMagic); err != nil {
+		return fmt.Errorf("moe: write magic: %w", err)
+	}
+	gateIn := gateInputDim(m.Gate)
+	hdr, err := json.Marshal(moeHeader{Cfg: m.Cfg, Classes: m.Classes, GateInput: gateIn})
+	if err != nil {
+		return fmt.Errorf("moe: marshal header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hdr))); err != nil {
+		return fmt.Errorf("moe: write header length: %w", err)
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("moe: write header: %w", err)
+	}
+	if err := nn.SaveNetwork(bw, m.Gate); err != nil {
+		return fmt.Errorf("moe: save gate: %w", err)
+	}
+	for i, e := range m.Experts {
+		if err := nn.SaveNetwork(bw, e); err != nil {
+			return fmt.Errorf("moe: save expert %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("moe: flush: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model bundle written by Save.
+func Load(r io.Reader) (*SGMoE, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(moeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("moe: read magic: %w", err)
+	}
+	if string(magic) != moeMagic {
+		return nil, fmt.Errorf("moe: bad magic %q", magic)
+	}
+	var hdrLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdrLen); err != nil {
+		return nil, fmt.Errorf("moe: read header length: %w", err)
+	}
+	if hdrLen > 1<<20 {
+		return nil, fmt.Errorf("moe: header length %d exceeds limit", hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdrBytes); err != nil {
+		return nil, fmt.Errorf("moe: read header: %w", err)
+	}
+	var hdr moeHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("moe: unmarshal header: %w", err)
+	}
+	if err := hdr.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("moe: stored config invalid: %w", err)
+	}
+	gate := buildGate(hdr.GateInput, hdr.Cfg.GateHidden, hdr.Cfg.K, tensor.NewRNG(0))
+	if err := nn.LoadNetworkInto(br, gate); err != nil {
+		return nil, fmt.Errorf("moe: load gate: %w", err)
+	}
+	experts := make([]*nn.Network, hdr.Cfg.K)
+	for i := range experts {
+		e, err := hdr.Cfg.ExpertSpec.Build(tensor.NewRNG(0))
+		if err != nil {
+			return nil, fmt.Errorf("moe: rebuild expert %d: %w", i, err)
+		}
+		if err := nn.LoadNetworkInto(br, e); err != nil {
+			return nil, fmt.Errorf("moe: load expert %d: %w", i, err)
+		}
+		experts[i] = e
+	}
+	return &SGMoE{Experts: experts, Gate: gate, Cfg: hdr.Cfg, Classes: hdr.Classes}, nil
+}
+
+// gateInputDim recovers the gate's input width from its first dense layer.
+func gateInputDim(gate *nn.Network) int {
+	for _, l := range gate.Layers {
+		if d, ok := l.(*nn.Dense); ok {
+			return d.In()
+		}
+	}
+	return 0
+}
+
+// buildGate mirrors the gate construction in Train so loaded bundles have
+// the identical architecture.
+func buildGate(input, hidden, k int, rng *tensor.RNG) *nn.Network {
+	return nn.NewNetwork("sg-gate",
+		nn.NewDense(input, hidden, rng),
+		nn.NewReLU(),
+		nn.NewDense(hidden, k, rng),
+	)
+}

@@ -1,0 +1,70 @@
+package moe
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/dataset"
+)
+
+func TestMoESaveLoadRoundTrip(t *testing.T) {
+	ds := dataset.Digits(dataset.DigitsConfig{N: 100, H: 12, W: 12, Seed: 21})
+	cfg := smallCfg(2)
+	cfg.Epochs = 2
+	src, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != src.K() || got.Classes != src.Classes || got.Cfg.TopK != src.Cfg.TopK {
+		t.Fatalf("bundle metadata mismatch: %+v", got.Cfg)
+	}
+	x := ds.X.SelectRows([]int{0, 3, 7})
+	if !got.Predict(x).AllClose(src.Predict(x), 1e-12) {
+		t.Fatal("loaded SG-MoE predicts differently")
+	}
+	gi, gw := got.GateSelect(x)
+	si, sw := src.GateSelect(x)
+	for b := range gi {
+		for j := range gi[b] {
+			if gi[b][j] != si[b][j] || gw[b][j] != sw[b][j] {
+				t.Fatal("loaded gate routes differently")
+			}
+		}
+	}
+}
+
+func TestMoELoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestMoELoadRejectsTruncated(t *testing.T) {
+	ds := dataset.Digits(dataset.DigitsConfig{N: 60, H: 10, W: 10, Seed: 22})
+	cfg := smallCfg(2)
+	cfg.ExpertSpec.MLP.Input = 100
+	cfg.Epochs = 1
+	src, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated bundle accepted")
+	}
+}

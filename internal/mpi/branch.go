@@ -1,0 +1,65 @@
+package mpi
+
+import (
+	"fmt"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// MPI-Branch (paper Section VI-A): "there are two main branches in the
+// Shake-Shake CNN, which can be split into two edge nodes and coordinated
+// through the MPI protocol". Rank 0 evaluates branch one of every
+// Shake-Shake block, rank 1 evaluates branch two; the branch outputs are
+// exchanged once per block. All other layers are replicated. The scheme is
+// only defined for a world of exactly two ranks.
+
+// BranchInference runs one forward pass with the Shake-Shake branches of
+// every block split between two ranks. Rank 0 supplies x; both ranks return
+// identical logits.
+func BranchInference(comm *Comm, net *nn.Network, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if comm.Size() != 2 {
+		return nil, fmt.Errorf("mpi: branch scheme requires exactly 2 ranks, world has %d", comm.Size())
+	}
+	act, err := comm.Bcast(0, x)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: branch bcast input: %w", err)
+	}
+	for li, layer := range net.Layers {
+		switch l := layer.(type) {
+		case *nn.ShakeShake:
+			act, err = branchBlock(comm, l, act)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: branch block %d: %w", li, err)
+			}
+		default:
+			act = layer.Forward(act, false)
+		}
+	}
+	return act, nil
+}
+
+// branchBlock computes the local branch, swaps with the peer, and combines
+// with the inference-time 0.5/0.5 mix plus the (replicated) skip path.
+func branchBlock(comm *Comm, l *nn.ShakeShake, act *tensor.Tensor) (*tensor.Tensor, error) {
+	var mine *tensor.Tensor
+	if comm.Rank() == 0 {
+		mine = l.Branch1.Forward(act, false)
+	} else {
+		mine = l.Branch2.Forward(act, false)
+	}
+	theirs, err := comm.Exchange(1-comm.Rank(), mine)
+	if err != nil {
+		return nil, err
+	}
+	b1, b2 := mine, theirs
+	if comm.Rank() == 1 {
+		b1, b2 = theirs, mine
+	}
+	out := tensor.Add(tensor.Scale(b1, 0.5), tensor.Scale(b2, 0.5))
+	res := act
+	if l.Skip != nil {
+		res = l.Skip.Forward(act, false)
+	}
+	return tensor.Add(out, res), nil
+}

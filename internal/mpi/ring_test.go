@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func TestRingAllreduceMatchesRootCentric(t *testing.T) {
+	for _, worldSize := range []int{2, 3, 4, 5} {
+		comms := NewLocalWorld(worldSize)
+		rng := tensor.NewRNG(int64(worldSize))
+		inputs := make([]*tensor.Tensor, worldSize)
+		for r := range inputs {
+			inputs[r] = rng.Randn(17) // not divisible by world size on purpose
+		}
+		want := inputs[0].Clone()
+		for _, in := range inputs[1:] {
+			want.AddScaled(in, 1)
+		}
+		got := runWorld(t, comms, func(c *Comm) (*tensor.Tensor, error) {
+			return c.RingAllreduceSum(inputs[c.Rank()])
+		})
+		for r, g := range got {
+			if !g.AllClose(want, 1e-4) {
+				t.Fatalf("world %d rank %d: ring result diverges from direct sum", worldSize, r)
+			}
+		}
+		closeWorld(comms)
+	}
+}
+
+func TestRingAllreduceSingleRank(t *testing.T) {
+	comms := NewLocalWorld(1)
+	defer closeWorld(comms)
+	in := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	got, err := comms[0].RingAllreduceSum(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(in) {
+		t.Fatal("single-rank ring should be identity")
+	}
+	got.Data[0] = 99
+	if in.Data[0] == 99 {
+		t.Fatal("ring aliased the input")
+	}
+}
+
+func TestRingAllreduceSmallTensor(t *testing.T) {
+	// Fewer elements than ranks: some chunks are empty.
+	comms := NewLocalWorld(4)
+	defer closeWorld(comms)
+	got := runWorld(t, comms, func(c *Comm) (*tensor.Tensor, error) {
+		return c.RingAllreduceSum(tensor.FromSlice([]float64{float64(c.Rank()), 1}, 2))
+	})
+	for r, g := range got {
+		if g.Data[0] != 6 || g.Data[1] != 4 { // 0+1+2+3, 1·4
+			t.Fatalf("rank %d: %v", r, g.Data)
+		}
+	}
+}
+
+func TestPropRingEqualsRootCentric(t *testing.T) {
+	f := func(seed uint8, sizeRaw uint8) bool {
+		n := int(sizeRaw)%4 + 2 // 2..5 ranks
+		dim := int(seed)%13 + 1
+		comms := NewLocalWorld(n)
+		defer closeWorld(comms)
+		rng := tensor.NewRNG(int64(seed))
+		inputs := make([]*tensor.Tensor, n)
+		for r := range inputs {
+			inputs[r] = rng.Randn(dim)
+		}
+		ring := make([]*tensor.Tensor, n)
+		root := make([]*tensor.Tensor, n)
+		ok := true
+		runParallel(n, func(r int) {
+			g, err := comms[r].RingAllreduceSum(inputs[r])
+			if err != nil {
+				ok = false
+				return
+			}
+			ring[r] = g
+		})
+		if !ok {
+			return false
+		}
+		runParallel(n, func(r int) {
+			g, err := comms[r].AllreduceSum(inputs[r])
+			if err != nil {
+				ok = false
+				return
+			}
+			root[r] = g
+		})
+		if !ok {
+			return false
+		}
+		for r := range ring {
+			if !ring[r].AllClose(root[r], 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runParallel(n int, fn func(r int)) {
+	done := make(chan struct{})
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			fn(r)
+			done <- struct{}{}
+		}(r)
+	}
+	for r := 0; r < n; r++ {
+		<-done
+	}
+}

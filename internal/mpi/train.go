@@ -1,0 +1,123 @@
+package mpi
+
+import (
+	"fmt"
+
+	"github.com/teamnet/teamnet/internal/dataset"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Data-parallel training: the classic MPI workload the substrate exists
+// for. Every rank holds a replica of the model, computes gradients on its
+// shard of each batch, and the gradients are averaged with an all-reduce
+// before the (identical) optimizer step — so all replicas stay bit-aligned
+// modulo the float32 wire quantization of the reduce.
+//
+// The paper trains its models on a single workstation; this path exists so
+// the MPI substrate is a complete library rather than an inference-only
+// prop, and is validated against serial training in the tests.
+
+// TrainDataParallelConfig parameterizes a distributed training run.
+type TrainDataParallelConfig struct {
+	Epochs    int
+	BatchSize int // global batch size, sharded across ranks
+	LR        float64
+	Seed      int64 // must be identical on every rank (drives the shuffle)
+	Ring      bool  // use RingAllreduceSum instead of the root-centric collective
+}
+
+// TrainDataParallel runs synchronous data-parallel SGD over the world.
+// Every rank must pass the same dataset, config and an identically
+// initialized network (same seed). After every batch all replicas hold the
+// same weights.
+func TrainDataParallel(comm *Comm, net *nn.Network, ds *dataset.Dataset, cfg TrainDataParallelConfig) error {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return fmt.Errorf("mpi: invalid training config %+v", cfg)
+	}
+	opt := nn.NewSGD(cfg.LR)
+	rng := tensor.NewRNG(cfg.Seed)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, batch := range ds.Batches(cfg.BatchSize, rng) {
+			if err := trainStep(comm, net, opt, batch, cfg.Ring); err != nil {
+				return fmt.Errorf("mpi: epoch %d: %w", epoch, err)
+			}
+		}
+	}
+	return nil
+}
+
+// trainStep computes this rank's shard gradient, averages across the world
+// and steps.
+func trainStep(comm *Comm, net *nn.Network, opt nn.Optimizer, batch dataset.Batch, ring bool) error {
+	lo, hi := blockRange(len(batch.Y), comm.Size(), comm.Rank())
+	net.ZeroGrads()
+	if hi > lo {
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x := batch.X.SelectRows(idx)
+		y := batch.Y[lo:hi]
+		logits := net.Forward(x, true)
+		_, _, grad := net2Grad(logits, y)
+		// Scale so the summed gradient equals the full-batch mean gradient:
+		// per-shard grads are means over the shard; reweight by shard size.
+		grad.ScaleInPlace(float64(len(y)) / float64(len(batch.Y)))
+		net.Backward(grad)
+	}
+	// Average gradients across ranks (sum of shard-weighted means).
+	grads := net.Grads()
+	flat := flatten(grads)
+	var summed *tensor.Tensor
+	var err error
+	if ring {
+		summed, err = comm.RingAllreduceSum(flat)
+	} else {
+		summed, err = comm.AllreduceSum(flat)
+	}
+	if err != nil {
+		return err
+	}
+	// The rank that computed a reduction holds the float64 sum while peers
+	// received its float32 wire image; quantize locally so every replica
+	// applies the bit-identical gradient and the models never drift.
+	for i, v := range summed.Data {
+		summed.Data[i] = float64(float32(v))
+	}
+	unflatten(summed, grads)
+	opt.Step(net.Params(), grads)
+	return nil
+}
+
+// net2Grad is the softmax cross-entropy; indirection keeps the import
+// surface in one place.
+func net2Grad(logits *tensor.Tensor, y []int) (float64, *tensor.Tensor, *tensor.Tensor) {
+	loss, probs, grad := nn.SoftmaxCrossEntropy(logits, y)
+	return loss, probs, grad
+}
+
+// flatten concatenates gradient tensors into one vector for a single
+// collective (fewer messages — the whole point on a slow link).
+func flatten(ts []*tensor.Tensor) *tensor.Tensor {
+	total := 0
+	for _, t := range ts {
+		total += t.Size()
+	}
+	out := tensor.New(total)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += t.Size()
+	}
+	return out
+}
+
+// unflatten scatters a flat vector back into the gradient tensors.
+func unflatten(flat *tensor.Tensor, ts []*tensor.Tensor) {
+	off := 0
+	for _, t := range ts {
+		copy(t.Data, flat.Data[off:off+t.Size()])
+		off += t.Size()
+	}
+}

@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/dataset"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func buildReplica(t *testing.T, ds *dataset.Dataset, seed int64) *nn.Network {
+	t.Helper()
+	spec := nn.MLPSpec{Label: "m", Input: ds.Features(), Width: 16, Layers: 2, Classes: ds.Classes}
+	net, err := spec.Build(tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// serialReference trains the same model on the full batches with plain SGD,
+// the ground truth the distributed replicas must match.
+func serialReference(t *testing.T, ds *dataset.Dataset, cfg TrainDataParallelConfig, seed int64) *nn.Network {
+	t.Helper()
+	net := buildReplica(t, ds, seed)
+	opt := nn.NewSGD(cfg.LR)
+	rng := tensor.NewRNG(cfg.Seed)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, b := range ds.Batches(cfg.BatchSize, rng) {
+			net.ZeroGrads()
+			logits := net.Forward(b.X, true)
+			_, _, grad := nn.SoftmaxCrossEntropy(logits, b.Y)
+			net.Backward(grad)
+			opt.Step(net.Params(), net.Grads())
+		}
+	}
+	return net
+}
+
+func TestDataParallelMatchesSerial(t *testing.T) {
+	ds := dataset.Digits(dataset.DigitsConfig{N: 120, H: 10, W: 10, Seed: 1})
+	cfg := TrainDataParallelConfig{Epochs: 2, BatchSize: 30, LR: 0.1, Seed: 7}
+	want := serialReference(t, ds, cfg, 5)
+
+	for _, ring := range []bool{false, true} {
+		cfg := cfg
+		cfg.Ring = ring
+		comms := NewLocalWorld(3)
+		nets := make([]*nn.Network, 3)
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			nets[r] = buildReplica(t, ds, 5) // identical init on every rank
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				errs[r] = TrainDataParallel(comms[r], nets[r], ds, cfg)
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("ring=%v rank %d: %v", ring, r, err)
+			}
+		}
+		// All replicas identical, and equal to the serial model within the
+		// float32 wire tolerance accumulated over the run.
+		x := ds.X.SelectRows([]int{0, 1, 2, 3})
+		ref := want.Forward(x, false)
+		for r, net := range nets {
+			out := net.Forward(x, false)
+			if !out.AllClose(ref, 1e-2) {
+				t.Fatalf("ring=%v rank %d diverged from serial training", ring, r)
+			}
+			if !out.AllClose(nets[0].Forward(x, false), 1e-9) {
+				t.Fatalf("ring=%v rank %d diverged from rank 0", ring, r)
+			}
+		}
+		closeWorld(comms)
+	}
+}
+
+func TestDataParallelSingleRankIsSerial(t *testing.T) {
+	ds := dataset.Digits(dataset.DigitsConfig{N: 60, H: 10, W: 10, Seed: 2})
+	cfg := TrainDataParallelConfig{Epochs: 1, BatchSize: 20, LR: 0.1, Seed: 3}
+	want := serialReference(t, ds, cfg, 9)
+	comms := NewLocalWorld(1)
+	defer closeWorld(comms)
+	net := buildReplica(t, ds, 9)
+	if err := TrainDataParallel(comms[0], net, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	x := ds.X.SelectRows([]int{0, 1})
+	if !net.Forward(x, false).AllClose(want.Forward(x, false), 1e-3) {
+		t.Fatal("single-rank data parallel diverges from serial")
+	}
+}
+
+func TestDataParallelRejectsBadConfig(t *testing.T) {
+	ds := dataset.Digits(dataset.DigitsConfig{N: 20, H: 8, W: 8, Seed: 4})
+	comms := NewLocalWorld(1)
+	defer closeWorld(comms)
+	net := buildReplica(t, ds, 1)
+	if err := TrainDataParallel(comms[0], net, ds, TrainDataParallelConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	ts := []*tensor.Tensor{rng.Randn(3, 2), rng.Randn(5), rng.Randn(1, 1)}
+	flat := flatten(ts)
+	if flat.Size() != 12 {
+		t.Fatalf("flat size %d", flat.Size())
+	}
+	clones := []*tensor.Tensor{tensor.New(3, 2), tensor.New(5), tensor.New(1, 1)}
+	unflatten(flat, clones)
+	for i := range ts {
+		if !clones[i].Equal(ts[i]) {
+			t.Fatalf("tensor %d corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation max(x, 0) (Nair & Hinton, the
+// paper's reference [13]).
+type ReLU struct {
+	mask []bool // which inputs were positive on the last forward
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if cap(r.mask) < x.Size() {
+		r.mask = make([]bool, x.Size())
+	}
+	r.mask = r.mask[:x.Size()]
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		pos := v > 0
+		r.mask[i] = pos
+		if pos {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(r.mask) != grad.Size() {
+		panic("nn: ReLU.Backward size mismatch or Backward before Forward")
+	}
+	out := tensor.New(grad.Shape...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Tanh is the hyperbolic-tangent activation, used inside the gate MLP
+// W(z, Θ) of TeamNet's dynamic gate (Algorithm 2).
+type Tanh struct {
+	lastY *tensor.Tensor
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	y := tensor.Apply(x, math.Tanh)
+	t.lastY = y
+	return y
+}
+
+// Backward implements Layer; d tanh(x)/dx = 1 - tanh²(x).
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if t.lastY == nil {
+		panic("nn: Tanh.Backward before Forward")
+	}
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		y := t.lastY.Data[i]
+		out.Data[i] = g * (1 - y*y)
+	}
+	return out
+}
+
+// Sigmoid is the logistic activation 1/(1+e^{-x}).
+type Sigmoid struct {
+	lastY *tensor.Tensor
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	y := tensor.Apply(x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	s.lastY = y
+	return y
+}
+
+// Backward implements Layer; dσ/dx = σ(1-σ).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.lastY == nil {
+		panic("nn: Sigmoid.Backward before Forward")
+	}
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		y := s.lastY.Data[i]
+		out.Data[i] = g * y * (1 - y)
+	}
+	return out
+}
+
+// Dropout zeroes a random fraction of activations at training time and
+// rescales the survivors by 1/(1-rate) (inverted dropout); it is the
+// identity at inference time.
+type Dropout struct {
+	rate float64
+	rng  *tensor.RNG
+	keep []bool
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout returns a Dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, rng *tensor.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0, 1)")
+	}
+	return &Dropout{rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.rate == 0 {
+		d.keep = nil
+		return x
+	}
+	if cap(d.keep) < x.Size() {
+		d.keep = make([]bool, x.Size())
+	}
+	d.keep = d.keep[:x.Size()]
+	scale := 1 / (1 - d.rate)
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		k := d.rng.Float64() >= d.rate
+		d.keep[i] = k
+		if k {
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.keep == nil { // eval-mode forward: identity
+		return grad
+	}
+	scale := 1 / (1 - d.rate)
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		if d.keep[i] {
+			out.Data[i] = g * scale
+		}
+	}
+	return out
+}

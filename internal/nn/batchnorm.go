@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// BatchNorm normalizes activations per channel over the batch (Ioffe &
+// Szegedy, the paper's reference [14]), with learned scale (gamma) and shift
+// (beta), and running statistics for inference.
+//
+// The layer treats its input rows as C channels of S spatial positions each
+// (features = C·S). With S == 1 it is the classic dense batch-norm; with
+// S == H·W it is the convolutional variant used inside Shake-Shake blocks.
+type BatchNorm struct {
+	C, S int
+
+	Gamma, Beta   *tensor.Tensor // [C]
+	GGamma, GBeta *tensor.Tensor
+
+	RunMean, RunVar *tensor.Tensor // running statistics for inference
+	Momentum        float64        // running-stat update rate
+	Eps             float64
+
+	// Cached values from the training forward pass.
+	lastXHat  *tensor.Tensor
+	lastStd   []float64
+	lastBatch int
+}
+
+var _ ParamLayer = (*BatchNorm)(nil)
+
+// NewBatchNorm returns a batch-norm layer over C channels of S spatial
+// positions (features = C·S).
+func NewBatchNorm(c, s int) *BatchNorm {
+	return &BatchNorm{
+		C:        c,
+		S:        s,
+		Gamma:    tensor.Ones(c),
+		Beta:     tensor.New(c),
+		GGamma:   tensor.New(c),
+		GBeta:    tensor.New(c),
+		RunMean:  tensor.New(c),
+		RunVar:   tensor.Ones(c),
+		Momentum: 0.9,
+		Eps:      1e-5,
+	}
+}
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return fmt.Sprintf("batchnorm(c%d,s%d)", b.C, b.S) }
+
+// Forward implements Layer. In training mode it normalizes with batch
+// statistics and updates the running statistics; in inference mode it uses
+// the running statistics only.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Shape[0]
+	if x.Shape[1] != b.C*b.S {
+		panic(fmt.Sprintf("nn: batchnorm features %d != %d·%d", x.Shape[1], b.C, b.S))
+	}
+	out := tensor.New(batch, b.C*b.S)
+	if !train {
+		for c := 0; c < b.C; c++ {
+			mean := b.RunMean.Data[c]
+			invStd := 1 / math.Sqrt(b.RunVar.Data[c]+b.Eps)
+			g, bt := b.Gamma.Data[c], b.Beta.Data[c]
+			for bi := 0; bi < batch; bi++ {
+				src := x.Data[bi*b.C*b.S+c*b.S:]
+				dst := out.Data[bi*b.C*b.S+c*b.S:]
+				for s := 0; s < b.S; s++ {
+					dst[s] = g*((src[s]-mean)*invStd) + bt
+				}
+			}
+		}
+		b.lastXHat = nil
+		return out
+	}
+
+	n := float64(batch * b.S)
+	b.lastBatch = batch
+	b.lastXHat = tensor.New(batch, b.C*b.S)
+	if cap(b.lastStd) < b.C {
+		b.lastStd = make([]float64, b.C)
+	}
+	b.lastStd = b.lastStd[:b.C]
+	for c := 0; c < b.C; c++ {
+		mean, varc := 0.0, 0.0
+		for bi := 0; bi < batch; bi++ {
+			src := x.Data[bi*b.C*b.S+c*b.S:]
+			for s := 0; s < b.S; s++ {
+				mean += src[s]
+			}
+		}
+		mean /= n
+		for bi := 0; bi < batch; bi++ {
+			src := x.Data[bi*b.C*b.S+c*b.S:]
+			for s := 0; s < b.S; s++ {
+				d := src[s] - mean
+				varc += d * d
+			}
+		}
+		varc /= n
+		std := math.Sqrt(varc + b.Eps)
+		b.lastStd[c] = std
+		invStd := 1 / std
+		g, bt := b.Gamma.Data[c], b.Beta.Data[c]
+		for bi := 0; bi < batch; bi++ {
+			src := x.Data[bi*b.C*b.S+c*b.S:]
+			xh := b.lastXHat.Data[bi*b.C*b.S+c*b.S:]
+			dst := out.Data[bi*b.C*b.S+c*b.S:]
+			for s := 0; s < b.S; s++ {
+				h := (src[s] - mean) * invStd
+				xh[s] = h
+				dst[s] = g*h + bt
+			}
+		}
+		b.RunMean.Data[c] = b.Momentum*b.RunMean.Data[c] + (1-b.Momentum)*mean
+		b.RunVar.Data[c] = b.Momentum*b.RunVar.Data[c] + (1-b.Momentum)*varc
+	}
+	return out
+}
+
+// Backward implements Layer using the standard batch-norm gradient:
+// dx = (gamma/std) · (dy - mean(dy) - x̂·mean(dy·x̂)).
+func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.lastXHat == nil {
+		panic("nn: BatchNorm.Backward without a training-mode Forward")
+	}
+	batch := b.lastBatch
+	n := float64(batch * b.S)
+	out := tensor.New(batch, b.C*b.S)
+	for c := 0; c < b.C; c++ {
+		sumDy, sumDyXh := 0.0, 0.0
+		for bi := 0; bi < batch; bi++ {
+			gy := grad.Data[bi*b.C*b.S+c*b.S:]
+			xh := b.lastXHat.Data[bi*b.C*b.S+c*b.S:]
+			for s := 0; s < b.S; s++ {
+				sumDy += gy[s]
+				sumDyXh += gy[s] * xh[s]
+			}
+		}
+		b.GBeta.Data[c] += sumDy
+		b.GGamma.Data[c] += sumDyXh
+		k := b.Gamma.Data[c] / b.lastStd[c]
+		meanDy := sumDy / n
+		meanDyXh := sumDyXh / n
+		for bi := 0; bi < batch; bi++ {
+			gy := grad.Data[bi*b.C*b.S+c*b.S:]
+			xh := b.lastXHat.Data[bi*b.C*b.S+c*b.S:]
+			dst := out.Data[bi*b.C*b.S+c*b.S:]
+			for s := 0; s < b.S; s++ {
+				dst[s] = k * (gy[s] - meanDy - xh[s]*meanDyXh)
+			}
+		}
+	}
+	return out
+}
+
+// Params implements ParamLayer (trainable parameters only; running
+// statistics are exposed via State).
+func (b *BatchNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{b.Gamma, b.Beta} }
+
+// Grads implements ParamLayer.
+func (b *BatchNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{b.GGamma, b.GBeta} }
+
+// State implements Stateful, exposing the running statistics so snapshots
+// capture inference behaviour exactly.
+func (b *BatchNorm) State() []*tensor.Tensor { return []*tensor.Tensor{b.RunMean, b.RunVar} }

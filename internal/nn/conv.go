@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs flattened to [batch, C·H·W]
+// rows, implemented as Im2Col followed by a matrix multiply. The kernel is
+// stored as a [C·KH·KW, OutC] matrix so that the MPI-Kernel scheme
+// (internal/mpi) can column-partition it across edge nodes without copying.
+type Conv2D struct {
+	Geom   tensor.ConvGeom
+	W      *tensor.Tensor // [patchLen, outC]
+	B      *tensor.Tensor // [outC]
+	GW, GB *tensor.Tensor
+
+	lastCols  *tensor.Tensor
+	lastBatch int
+}
+
+var _ ParamLayer = (*Conv2D)(nil)
+
+// NewConv2D returns a Conv2D layer with He-normal weights. It panics if the
+// geometry is invalid (construction-time programmer error).
+func NewConv2D(g tensor.ConvGeom, rng *tensor.RNG) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	pl := g.PatchLen()
+	return &Conv2D{
+		Geom: g,
+		W:    rng.HeNormal(pl, pl, g.OutC),
+		B:    tensor.New(g.OutC),
+		GW:   tensor.New(pl, g.OutC),
+		GB:   tensor.New(g.OutC),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv2d(%dx%dx%d→%d,k%dx%d,s%d,p%d)",
+		c.Geom.InC, c.Geom.InH, c.Geom.InW, c.Geom.OutC, c.Geom.KH, c.Geom.KW, c.Geom.Stride, c.Geom.Pad)
+}
+
+// OutFeatures returns the flattened output width OutC·OutH·OutW.
+func (c *Conv2D) OutFeatures() int { return c.Geom.OutC * c.Geom.OutH * c.Geom.OutW }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	batch := x.Shape[0]
+	cols := tensor.Im2Col(x, c.Geom)
+	c.lastCols = cols
+	c.lastBatch = batch
+	// [batch·outH·outW, patchLen] × [patchLen, outC] = [batch·outH·outW, outC]
+	y := tensor.MatMul(cols, c.W)
+	y.AddRowVector(c.B)
+	// Rearrange to [batch, outC·outH·outW] NCHW rows.
+	return spatialToNCHW(y, batch, c.Geom.OutC, c.Geom.OutH*c.Geom.OutW)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	// Back to [batch·outH·outW, outC] layout.
+	g := nchwToSpatial(grad, c.lastBatch, c.Geom.OutC, c.Geom.OutH*c.Geom.OutW)
+	c.GW.AddScaled(tensor.MatMulTransA(c.lastCols, g), 1)
+	c.GB.AddScaled(tensor.SumCols(g), 1)
+	dCols := tensor.MatMulTransB(g, c.W)
+	return tensor.Col2Im(dCols, c.lastBatch, c.Geom)
+}
+
+// Params implements ParamLayer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements ParamLayer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+
+// spatialToNCHW converts [batch·S, C] rows (S spatial positions) into
+// [batch, C·S] NCHW rows.
+func spatialToNCHW(y *tensor.Tensor, batch, ch, spatial int) *tensor.Tensor {
+	out := tensor.New(batch, ch*spatial)
+	for b := 0; b < batch; b++ {
+		for s := 0; s < spatial; s++ {
+			row := y.Data[(b*spatial+s)*ch:]
+			for cc := 0; cc < ch; cc++ {
+				out.Data[b*ch*spatial+cc*spatial+s] = row[cc]
+			}
+		}
+	}
+	return out
+}
+
+// nchwToSpatial is the inverse of spatialToNCHW.
+func nchwToSpatial(x *tensor.Tensor, batch, ch, spatial int) *tensor.Tensor {
+	out := tensor.New(batch*spatial, ch)
+	for b := 0; b < batch; b++ {
+		for cc := 0; cc < ch; cc++ {
+			src := x.Data[b*ch*spatial+cc*spatial:]
+			for s := 0; s < spatial; s++ {
+				out.Data[(b*spatial+s)*ch+cc] = src[s]
+			}
+		}
+	}
+	return out
+}

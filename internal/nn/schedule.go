@@ -1,0 +1,48 @@
+package nn
+
+import "math"
+
+// LRSchedule maps an epoch index to a learning rate. Training loops call
+// SetLR before each epoch; optimizers expose their LR field for this.
+type LRSchedule func(epoch int) float64
+
+// ConstantLR returns lr for every epoch.
+func ConstantLR(lr float64) LRSchedule {
+	return func(int) float64 { return lr }
+}
+
+// StepLR decays lr by factor every stepEpochs epochs — the classic
+// plateau-free schedule for SGD baselines.
+func StepLR(lr, factor float64, stepEpochs int) LRSchedule {
+	return func(epoch int) float64 {
+		return lr * math.Pow(factor, float64(epoch/stepEpochs))
+	}
+}
+
+// CosineLR anneals from lr to floor over totalEpochs with a half-cosine —
+// the schedule the Shake-Shake paper trains with.
+func CosineLR(lr, floor float64, totalEpochs int) LRSchedule {
+	return func(epoch int) float64 {
+		if epoch >= totalEpochs {
+			return floor
+		}
+		t := float64(epoch) / float64(totalEpochs)
+		return floor + (lr-floor)*0.5*(1+math.Cos(math.Pi*t))
+	}
+}
+
+// SetLR updates an optimizer's learning rate if its type supports it,
+// reporting whether it did.
+func SetLR(opt Optimizer, lr float64) bool {
+	switch o := opt.(type) {
+	case *SGD:
+		o.LR = lr
+	case *Momentum:
+		o.LR = lr
+	case *Adam:
+		o.LR = lr
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR(0.1)
+	if s(0) != 0.1 || s(100) != 0.1 {
+		t.Fatal("ConstantLR varies")
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR(1.0, 0.1, 10)
+	if s(0) != 1.0 || s(9) != 1.0 {
+		t.Fatalf("step before boundary: %v %v", s(0), s(9))
+	}
+	if math.Abs(s(10)-0.1) > 1e-12 || math.Abs(s(25)-0.01) > 1e-12 {
+		t.Fatalf("step decay wrong: %v %v", s(10), s(25))
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	s := CosineLR(1.0, 0.01, 100)
+	if math.Abs(s(0)-1.0) > 1e-12 {
+		t.Fatalf("cosine start %v", s(0))
+	}
+	mid := s(50)
+	if mid <= 0.01 || mid >= 1.0 {
+		t.Fatalf("cosine mid %v not inside (floor, lr)", mid)
+	}
+	if got := s(100); got != 0.01 {
+		t.Fatalf("cosine end %v", got)
+	}
+	if s(200) != 0.01 {
+		t.Fatal("cosine does not clamp past total")
+	}
+	// Monotone non-increasing.
+	prev := s(0)
+	for e := 1; e <= 100; e++ {
+		cur := s(e)
+		if cur > prev+1e-12 {
+			t.Fatalf("cosine increased at %d: %v → %v", e, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	sgd := NewSGD(0.1)
+	if !SetLR(sgd, 0.5) || sgd.LR != 0.5 {
+		t.Fatal("SetLR on SGD failed")
+	}
+	mom := NewMomentum(0.1, 0.9)
+	if !SetLR(mom, 0.2) || mom.LR != 0.2 {
+		t.Fatal("SetLR on Momentum failed")
+	}
+	adam := NewAdam(0.1)
+	if !SetLR(adam, 0.3) || adam.LR != 0.3 {
+		t.Fatal("SetLR on Adam failed")
+	}
+	var unknown Optimizer = unknownOpt{}
+	if SetLR(unknown, 0.1) {
+		t.Fatal("SetLR claimed success on unknown optimizer")
+	}
+}
+
+type unknownOpt struct{}
+
+func (unknownOpt) Step(_, _ []*tensor.Tensor) {}

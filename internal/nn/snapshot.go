@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Snapshot serialization: a network is persisted as a small JSON header
+// (label, layer names, tensor shapes) followed by raw little-endian float64
+// tensor data — parameters first, then non-trainable state. The format is
+// what cmd/teamnet-train writes and cmd/teamnet-node loads, and what the
+// cluster runtime ships when replicating an expert.
+
+// snapshotMagic guards against feeding arbitrary files to LoadNetworkInto.
+const snapshotMagic = "TNETSNAP1\n"
+
+type snapshotHeader struct {
+	Label       string   `json:"label"`
+	LayerNames  []string `json:"layerNames"`
+	ParamShapes [][]int  `json:"paramShapes"`
+	StateShapes [][]int  `json:"stateShapes"`
+}
+
+// SaveNetwork writes n's architecture fingerprint and all weights to w.
+func SaveNetwork(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("nn: write snapshot magic: %w", err)
+	}
+	params, state := n.Params(), n.State()
+	hdr := snapshotHeader{Label: n.Label()}
+	for _, l := range n.Layers {
+		hdr.LayerNames = append(hdr.LayerNames, l.Name())
+	}
+	for _, p := range params {
+		hdr.ParamShapes = append(hdr.ParamShapes, p.Shape)
+	}
+	for _, s := range state {
+		hdr.StateShapes = append(hdr.StateShapes, s.Shape)
+	}
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("nn: marshal snapshot header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hdrBytes))); err != nil {
+		return fmt.Errorf("nn: write snapshot header length: %w", err)
+	}
+	if _, err := bw.Write(hdrBytes); err != nil {
+		return fmt.Errorf("nn: write snapshot header: %w", err)
+	}
+	for _, t := range append(append([]*tensor.Tensor(nil), params...), state...) {
+		if err := writeTensorData(bw, t); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("nn: flush snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadNetworkInto reads a snapshot from r into an already-constructed
+// network with an identical architecture, verifying the fingerprint.
+func LoadNetworkInto(r io.Reader, n *Network) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: read snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return fmt.Errorf("nn: bad snapshot magic %q", magic)
+	}
+	var hdrLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdrLen); err != nil {
+		return fmt.Errorf("nn: read snapshot header length: %w", err)
+	}
+	const maxHeader = 1 << 20
+	if hdrLen > maxHeader {
+		return fmt.Errorf("nn: snapshot header length %d exceeds limit", hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdrBytes); err != nil {
+		return fmt.Errorf("nn: read snapshot header: %w", err)
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return fmt.Errorf("nn: unmarshal snapshot header: %w", err)
+	}
+	params, state := n.Params(), n.State()
+	if len(hdr.ParamShapes) != len(params) || len(hdr.StateShapes) != len(state) {
+		return fmt.Errorf("nn: snapshot %q has %d params/%d state, network %q has %d/%d",
+			hdr.Label, len(hdr.ParamShapes), len(hdr.StateShapes), n.Label(), len(params), len(state))
+	}
+	all := append(append([]*tensor.Tensor(nil), params...), state...)
+	shapes := append(append([][]int(nil), hdr.ParamShapes...), hdr.StateShapes...)
+	for i, t := range all {
+		if !sameShape(t.Shape, shapes[i]) {
+			return fmt.Errorf("nn: snapshot tensor %d shape %v != network shape %v", i, shapes[i], t.Shape)
+		}
+		if err := readTensorData(br, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTensorData(w io.Writer, t *tensor.Tensor) error {
+	buf := make([]byte, 8*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("nn: write tensor data: %w", err)
+	}
+	return nil
+}
+
+func readTensorData(r io.Reader, t *tensor.Tensor) error {
+	buf := make([]byte, 8*len(t.Data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("nn: read tensor data: %w", err)
+	}
+	for i := range t.Data {
+		t.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}

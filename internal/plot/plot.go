@@ -1,0 +1,228 @@
+// Package plot renders the benchmark harness's results as standalone SVG
+// files using only the standard library — line charts for the convergence
+// figures (6, 8), grouped bar charts for the latency/accuracy comparisons
+// (5, 7, tables), and heat maps for the specialization figure (9).
+//
+// The output is deliberately simple, deterministic markup: fixed canvas,
+// no scripting, valid standalone SVG 1.1 — diffable in tests and viewable
+// anywhere.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Canvas geometry shared by all chart kinds.
+const (
+	width   = 720
+	height  = 420
+	marginL = 70
+	marginR = 160
+	marginT = 40
+	marginB = 50
+)
+
+// seriesColors cycles through distinguishable hues.
+var seriesColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+func plotW() float64 { return float64(width - marginL - marginR) }
+func plotH() float64 { return float64(height - marginT - marginB) }
+
+// Lines renders one or more named curves over a shared x axis.
+func Lines(title, xLabel, yLabel string, x []float64, names []string, ys [][]float64) string {
+	var b strings.Builder
+	header(&b, title)
+	xMin, xMax := rangeOf(x)
+	var all []float64
+	for _, y := range ys {
+		all = append(all, y...)
+	}
+	yMin, yMax := rangeOf(all)
+	if yMin > 0 {
+		yMin = 0 // proportions and latencies read best from zero
+	}
+	axes(&b, xLabel, yLabel, xMin, xMax, yMin, yMax)
+	sx := func(v float64) float64 { return marginL + (v-xMin)/(xMax-xMin+1e-12)*plotW() }
+	sy := func(v float64) float64 { return marginT + plotH() - (v-yMin)/(yMax-yMin+1e-12)*plotH() }
+	for si, y := range ys {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		for i := range x {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(x[i]), sy(y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		legendEntry(&b, si, names[si], color)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Bars renders grouped bars: one group per label, one bar per series.
+func Bars(title, yLabel string, groups []string, names []string, values [][]float64) string {
+	var b strings.Builder
+	header(&b, title)
+	var all []float64
+	for _, v := range values {
+		all = append(all, v...)
+	}
+	_, yMax := rangeOf(all)
+	axes(&b, "", yLabel, 0, 1, 0, yMax)
+	nGroups, nSeries := len(groups), len(names)
+	groupW := plotW() / float64(nGroups)
+	barW := groupW * 0.8 / float64(nSeries)
+	for g := range groups {
+		gx := marginL + float64(g)*groupW
+		for s := 0; s < nSeries; s++ {
+			v := values[s][g]
+			h := v / (yMax + 1e-12) * plotH()
+			x := gx + groupW*0.1 + float64(s)*barW
+			y := marginT + plotH() - h
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, h, seriesColors[s%len(seriesColors)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, height-marginB+18, escape(groups[g]))
+	}
+	for s, name := range names {
+		legendEntry(&b, s, name, seriesColors[s%len(seriesColors)])
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Heatmap renders a rows×cols matrix of values in [0, 1] with labels.
+func Heatmap(title string, rowNames, colNames []string, values [][]float64) string {
+	var b strings.Builder
+	header(&b, title)
+	nR, nC := len(rowNames), len(colNames)
+	cellW := plotW() / float64(nC)
+	cellH := plotH() / float64(nR)
+	for r := 0; r < nR; r++ {
+		for c := 0; c < nC; c++ {
+			v := clamp01(values[r][c])
+			x := marginL + float64(c)*cellW
+			y := marginT + float64(r)*cellH
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, cellW, cellH, heatColor(v))
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="%s">%.2f</text>`+"\n",
+				x+cellW/2, y+cellH/2+3, textOn(v), v)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, marginT+float64(r)*cellH+cellH/2+3, escape(rowNames[r]))
+	}
+	for c := 0; c < nC; c++ {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			marginL+float64(c)*cellW+cellW/2, height-marginB+16, escape(colNames[c]))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="24" font-size="14" text-anchor="middle">%s</text>`+"\n", width/2, escape(title))
+}
+
+// axes draws the frame, y ticks and labels.
+func axes(b *strings.Builder, xLabel, yLabel string, xMin, xMax, yMin, yMax float64) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW(), plotH())
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		v := yMin + (yMax-yMin)*frac
+		y := marginT + plotH() - frac*plotH()
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW(), y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+3, trimNum(v))
+	}
+	if xLabel != "" {
+		for i := 0; i <= 4; i++ {
+			frac := float64(i) / 4
+			v := xMin + (xMax-xMin)*frac
+			x := marginL + frac*plotW()
+			fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				x, height-marginB+16, trimNum(v))
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW()/2, height-10, escape(xLabel))
+	}
+	fmt.Fprintf(b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH()/2, marginT+plotH()/2, escape(yLabel))
+}
+
+func legendEntry(b *strings.Builder, idx int, name, color string) {
+	x := width - marginR + 12
+	y := marginT + 16 + idx*18
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", x, y-10, color)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", x+16, y, escape(name))
+}
+
+// heatColor maps [0,1] to a white→blue ramp.
+func heatColor(v float64) string {
+	r := int(255 - 200*v)
+	g := int(255 - 150*v)
+	return fmt.Sprintf("#%02x%02xff", r, g)
+}
+
+func textOn(v float64) string {
+	if v > 0.6 {
+		return "white"
+	}
+	return "#333"
+}
+
+func rangeOf(vs []float64) (lo, hi float64) {
+	if len(vs) == 0 {
+		return 0, 1
+	}
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func trimNum(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}

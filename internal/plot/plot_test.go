@@ -1,0 +1,111 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func assertSVG(t *testing.T, svg string) {
+	t.Helper()
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Fatalf("not an svg: %q", svg[:40])
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("svg not closed")
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Fatal("nested svg")
+	}
+}
+
+func TestLines(t *testing.T) {
+	svg := Lines("conv", "iter", "share",
+		[]float64{0, 1, 2},
+		[]string{"e1", "e2"},
+		[][]float64{{0.3, 0.5, 0.5}, {0.7, 0.5, 0.5}})
+	assertSVG(t, svg)
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines:\n%s", svg)
+	}
+	if !strings.Contains(svg, "e1") || !strings.Contains(svg, "e2") {
+		t.Fatal("legend labels missing")
+	}
+	if !strings.Contains(svg, "iter") || !strings.Contains(svg, "share") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestBars(t *testing.T) {
+	svg := Bars("latency", "ms",
+		[]string{"Baseline", "TeamNet x2"},
+		[]string{"Inference"},
+		[][]float64{{3.4, 2.0}})
+	assertSVG(t, svg)
+	if strings.Count(svg, "<rect") < 4 { // frame + background + 2 bars
+		t.Fatal("bars missing")
+	}
+	if !strings.Contains(svg, "Baseline") {
+		t.Fatal("group labels missing")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	svg := Heatmap("spec",
+		[]string{"expert1", "expert2"},
+		[]string{"cat", "truck"},
+		[][]float64{{0.9, 0.1}, {0.1, 0.9}})
+	assertSVG(t, svg)
+	if strings.Count(svg, "<rect") < 5 { // background + 4 cells
+		t.Fatal("cells missing")
+	}
+	if !strings.Contains(svg, "0.90") {
+		t.Fatal("cell values missing")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg := Lines("a < b & c", "x", "y", []float64{0, 1}, []string{"<s>"}, [][]float64{{0, 1}})
+	if strings.Contains(svg, "a < b") || strings.Contains(svg, "<s>") {
+		t.Fatal("markup not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; c") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// Constant series (zero range) and single points must not divide by
+	// zero or emit NaN coordinates.
+	svg := Lines("flat", "x", "y", []float64{5}, []string{"a"}, [][]float64{{2}})
+	assertSVG(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN coordinates in svg")
+	}
+	svg = Heatmap("one", []string{"r"}, []string{"c"}, [][]float64{{0.5}})
+	assertSVG(t, svg)
+	svg = Bars("zero", "v", []string{"g"}, []string{"s"}, [][]float64{{0}})
+	assertSVG(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN in zero bars")
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	if heatColor(0) == heatColor(1) {
+		t.Fatal("flat color ramp")
+	}
+	if textOn(0.9) != "white" || textOn(0.1) == "white" {
+		t.Fatal("text contrast rule broken")
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	lo, hi := rangeOf(nil)
+	if lo != 0 || hi != 1 {
+		t.Fatal("empty range default wrong")
+	}
+	lo, hi = rangeOf([]float64{3, 3})
+	if lo != 3 || hi <= lo {
+		t.Fatal("constant range not widened")
+	}
+}

@@ -1,0 +1,118 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution over NCHW tensors.
+// It is shared by the Conv2D layer (internal/nn) and by the MPI-Kernel
+// parallelization scheme, which must agree exactly on output sizes.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	OutC          int // output channels
+	KH, KW        int // kernel height, width
+	Stride, Pad   int
+	OutH, OutW    int // derived; set by Validate
+}
+
+// Validate checks the geometry and fills in the derived output extents.
+func (g *ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.OutC <= 0 {
+		return fmt.Errorf("tensor: conv geometry has non-positive extent: %+v", *g)
+	}
+	if g.KH <= 0 || g.KW <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		return fmt.Errorf("tensor: conv kernel/stride/pad invalid: %+v", *g)
+	}
+	g.OutH = (g.InH+2*g.Pad-g.KH)/g.Stride + 1
+	g.OutW = (g.InW+2*g.Pad-g.KW)/g.Stride + 1
+	if g.OutH <= 0 || g.OutW <= 0 {
+		return fmt.Errorf("tensor: conv output collapses to zero: %+v", *g)
+	}
+	return nil
+}
+
+// PatchLen returns the length of one unrolled receptive field.
+func (g *ConvGeom) PatchLen() int { return g.InC * g.KH * g.KW }
+
+// Im2Col unrolls x (batch × InC × InH × InW, given as a rank-2 tensor of
+// batch rows with InC·InH·InW columns) into a patch matrix of shape
+// (batch·OutH·OutW) × PatchLen. Zero padding is implicit: out-of-range taps
+// contribute zeros.
+//
+// With W the (PatchLen × OutC) kernel matrix, the convolution output is
+// simply Im2Col(x) × W — turning convolution into the library's fast matmul.
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	x.mustRank(2)
+	batch := x.Shape[0]
+	if x.Shape[1] != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input cols %d != %d·%d·%d", x.Shape[1], g.InC, g.InH, g.InW))
+	}
+	pl := g.PatchLen()
+	out := New(batch*g.OutH*g.OutW, pl)
+	for b := 0; b < batch; b++ {
+		img := x.Data[b*g.InC*g.InH*g.InW:]
+		for oy := 0; oy < g.OutH; oy++ {
+			for ox := 0; ox < g.OutW; ox++ {
+				row := out.Data[((b*g.OutH+oy)*g.OutW+ox)*pl:]
+				p := 0
+				for c := 0; c < g.InC; c++ {
+					chOff := c * g.InH * g.InW
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride - g.Pad + ky
+						if iy < 0 || iy >= g.InH {
+							p += g.KW
+							continue
+						}
+						rowOff := chOff + iy*g.InW
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride - g.Pad + kx
+							if ix >= 0 && ix < g.InW {
+								row[p] = img[rowOff+ix]
+							}
+							p++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im scatters a patch-matrix gradient (the transpose operation of
+// Im2Col) back into input-image layout, accumulating overlapping taps. cols
+// must be (batch·OutH·OutW) × PatchLen; the result is batch × InC·InH·InW.
+func Col2Im(cols *Tensor, batch int, g ConvGeom) *Tensor {
+	cols.mustRank(2)
+	pl := g.PatchLen()
+	if cols.Shape[0] != batch*g.OutH*g.OutW || cols.Shape[1] != pl {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with batch %d geom %+v", cols.Shape, batch, g))
+	}
+	out := New(batch, g.InC*g.InH*g.InW)
+	for b := 0; b < batch; b++ {
+		img := out.Data[b*g.InC*g.InH*g.InW:]
+		for oy := 0; oy < g.OutH; oy++ {
+			for ox := 0; ox < g.OutW; ox++ {
+				row := cols.Data[((b*g.OutH+oy)*g.OutW+ox)*pl:]
+				p := 0
+				for c := 0; c < g.InC; c++ {
+					chOff := c * g.InH * g.InW
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride - g.Pad + ky
+						if iy < 0 || iy >= g.InH {
+							p += g.KW
+							continue
+						}
+						rowOff := chOff + iy*g.InW
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride - g.Pad + kx
+							if ix >= 0 && ix < g.InW {
+								img[rowOff+ix] += row[p]
+							}
+							p++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockSize is the cache-blocking tile edge for matrix multiplication.
+// 64×64 float64 tiles (32 KiB working set per pair) fit comfortably in L1/L2
+// on both server CPUs and the ARM cores the paper's edge devices use.
+const blockSize = 64
+
+// parallelThreshold is the m·k·n product above which MatMul fans out across
+// goroutines. Below it the fork/join overhead exceeds the work; the
+// threshold corresponds to roughly a quarter millisecond of single-core
+// compute.
+const parallelThreshold = 1 << 21
+
+// MatMul returns a × b for rank-2 tensors, with a (m×k) and b (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	a.mustRank(2)
+	b.mustRank(2)
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v × %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	matMulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulInto computes dst = a × b, reusing dst's storage. dst must be m×n
+// and must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	a.mustRank(2)
+	b.mustRank(2)
+	dst.mustRank(2)
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shapes %v = %v × %v invalid", dst.Shape, a.Shape, b.Shape))
+	}
+	dst.Zero()
+	matMulInto(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// matMulInto accumulates a×b into dst (dst must be zeroed by the caller or
+// freshly allocated), fanning large products out across CPU cores. Output
+// rows are partitioned across workers, so the result is bit-identical to
+// the serial kernel regardless of scheduling.
+func matMulInto(dst, a, b []float64, m, k, n int) {
+	work := m * k * n
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || m < 2 {
+		matMulRange(dst, a, b, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := m * w / workers
+		hi := m * (w + 1) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(dst, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRange computes output rows [rowLo, rowHi) of dst = a×b with
+// cache blocking.
+func matMulRange(dst, a, b []float64, rowLo, rowHi, k, n int) {
+	for i0 := rowLo; i0 < rowHi; i0 += blockSize {
+		iMax := min(i0+blockSize, rowHi)
+		for k0 := 0; k0 < k; k0 += blockSize {
+			kMax := min(k0+blockSize, k)
+			for i := i0; i < iMax; i++ {
+				arow := a[i*k : (i+1)*k]
+				drow := dst[i*n : (i+1)*n]
+				for kk := k0; kk < kMax; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := b[kk*n : (kk+1)*n]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ × b with a (k×m) and b (k×n), avoiding an explicit
+// transpose. This is the weight-gradient product of a dense layer.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	a.mustRank(2)
+	b.mustRank(2)
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimensions differ: %vᵀ × %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a × bᵀ with a (m×k) and b (n×k), avoiding an explicit
+// transpose. This is the input-gradient product of a dense layer.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	a.mustRank(2)
+	b.mustRank(2)
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %v × %vᵀ", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			drow[j] = s
+		}
+	}
+	return out
+}
+
+// MatVec returns a × x for a rank-2 a (m×k) and rank-1 x (k).
+func MatVec(a, x *Tensor) *Tensor {
+	a.mustRank(2)
+	m, k := a.Shape[0], a.Shape[1]
+	if x.Size() != k {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v × %v invalid", a.Shape, x.Shape))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of two equally-sized tensors (flattened).
+func Dot(a, b *Tensor) float64 {
+	mustSameSize("Dot", a, b)
+	s := 0.0
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// Outer returns the outer product a ⊗ b of two rank-1 tensors as an
+// (len(a) × len(b)) matrix.
+func Outer(a, b *Tensor) *Tensor {
+	m, n := a.Size(), b.Size()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		av := a.Data[i]
+		row := out.Data[i*n : (i+1)*n]
+		for j, bv := range b.Data {
+			row[j] = av * bv
+		}
+	}
+	return out
+}
+
+// RowBlock returns the half-open row range [lo, hi) of a rank-2 tensor as a
+// view sharing backing storage. It is the partitioning primitive of the
+// MPI-Matrix scheme, which splits weight matrices across edge nodes by rows.
+func RowBlock(t *Tensor, lo, hi int) *Tensor {
+	t.mustRank(2)
+	r, c := t.Shape[0], t.Shape[1]
+	if lo < 0 || hi > r || lo > hi {
+		panic(fmt.Sprintf("tensor: RowBlock [%d,%d) out of range for %d rows", lo, hi, r))
+	}
+	return &Tensor{Data: t.Data[lo*c : hi*c : hi*c], Shape: []int{hi - lo, c}}
+}
+
+// ConcatRows stacks rank-2 tensors with equal column counts vertically into
+// a new tensor, the gather step of row-partitioned matrix multiplication.
+func ConcatRows(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: ConcatRows of no tensors")
+	}
+	c := parts[0].Cols()
+	rows := 0
+	for _, p := range parts {
+		if p.Cols() != c {
+			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", p.Cols(), c))
+		}
+		rows += p.Rows()
+	}
+	out := New(rows, c)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off:], p.Data)
+		off += len(p.Data)
+	}
+	return out
+}
+
+// ConcatCols stacks rank-2 tensors with equal row counts horizontally into a
+// new tensor, the gather step of column-partitioned (kernel-split) layers.
+func ConcatCols(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: ConcatCols of no tensors")
+	}
+	r := parts[0].Rows()
+	cols := 0
+	for _, p := range parts {
+		if p.Rows() != r {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", p.Rows(), r))
+		}
+		cols += p.Cols()
+	}
+	out := New(r, cols)
+	off := 0
+	for _, p := range parts {
+		pc := p.Cols()
+		for i := 0; i < r; i++ {
+			copy(out.Data[i*cols+off:i*cols+off+pc], p.Data[i*pc:(i+1)*pc])
+		}
+		off += pc
+	}
+	return out
+}

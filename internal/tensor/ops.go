@@ -1,0 +1,357 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + u element-wise in a new tensor.
+func Add(t, u *Tensor) *Tensor {
+	mustSameShape("Add", t, u)
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v + u.Data[i]
+	}
+	return out
+}
+
+// AddInto computes dst = t + u element-wise. dst may alias t or u.
+func AddInto(dst, t, u *Tensor) {
+	mustSameShape("AddInto", t, u)
+	mustSameSize("AddInto", dst, t)
+	for i, v := range t.Data {
+		dst.Data[i] = v + u.Data[i]
+	}
+}
+
+// Sub returns t - u element-wise in a new tensor.
+func Sub(t, u *Tensor) *Tensor {
+	mustSameShape("Sub", t, u)
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v - u.Data[i]
+	}
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product t ⊙ u in a new tensor.
+func Mul(t, u *Tensor) *Tensor {
+	mustSameShape("Mul", t, u)
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v * u.Data[i]
+	}
+	return out
+}
+
+// MulInto computes dst = t ⊙ u element-wise. dst may alias t or u.
+func MulInto(dst, t, u *Tensor) {
+	mustSameShape("MulInto", t, u)
+	mustSameSize("MulInto", dst, t)
+	for i, v := range t.Data {
+		dst.Data[i] = v * u.Data[i]
+	}
+}
+
+// Scale returns v * t in a new tensor.
+func Scale(t *Tensor, v float64) *Tensor {
+	out := New(t.Shape...)
+	for i, x := range t.Data {
+		out.Data[i] = x * v
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of t by v.
+func (t *Tensor) ScaleInPlace(v float64) {
+	for i := range t.Data {
+		t.Data[i] *= v
+	}
+}
+
+// AddScaled accumulates t += alpha * u (a fused axpy), the core update of
+// every optimizer in internal/nn.
+func (t *Tensor) AddScaled(u *Tensor, alpha float64) {
+	mustSameSize("AddScaled", t, u)
+	for i, v := range u.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// AddScalar returns t + v element-wise in a new tensor.
+func AddScalar(t *Tensor, v float64) *Tensor {
+	out := New(t.Shape...)
+	for i, x := range t.Data {
+		out.Data[i] = x + v
+	}
+	return out
+}
+
+// Apply returns f applied element-wise to t in a new tensor.
+func Apply(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f element-wise to t, mutating it.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements; it returns 0 for an
+// empty tensor.
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element; it panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element; it panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the first maximum element of a rank-1 tensor
+// or of the flattened data for higher ranks.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// ArgMin returns the index of the first minimum element of the flattened
+// data. TeamNet's inference gate is an arg-min over predictive entropies.
+func (t *Tensor) ArgMin() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMin of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data[1:] {
+		if v < best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// Norm2 returns the Euclidean norm of the flattened data.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SumRows returns a rank-1 tensor with the sum over each row of a rank-2
+// tensor (reduction along axis 1).
+func SumRows(t *Tensor) *Tensor {
+	t.mustRank(2)
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(r)
+	for i := 0; i < r; i++ {
+		s := 0.0
+		row := t.Data[i*c : (i+1)*c]
+		for _, v := range row {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// SumCols returns a rank-1 tensor with the sum over each column of a rank-2
+// tensor (reduction along axis 0). Used for bias gradients.
+func SumCols(t *Tensor) *Tensor {
+	t.mustRank(2)
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(c)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// AddRowVector adds a rank-1 vector v to every row of rank-2 tensor t,
+// in place (bias addition).
+func (t *Tensor) AddRowVector(v *Tensor) {
+	t.mustRank(2)
+	r, c := t.Shape[0], t.Shape[1]
+	if v.Size() != c {
+		panic(fmt.Sprintf("tensor: AddRowVector vector size %d != cols %d", v.Size(), c))
+	}
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+}
+
+// SoftmaxRows computes a numerically-stable softmax independently over each
+// row of a rank-2 tensor, returning a new tensor. It is the final stage of
+// every classifier in this repository.
+func SoftmaxRows(t *Tensor) *Tensor {
+	t.mustRank(2)
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(r, c)
+	for i := 0; i < r; i++ {
+		in := t.Data[i*c : (i+1)*c]
+		dst := out.Data[i*c : (i+1)*c]
+		softmaxInto(dst, in)
+	}
+	return out
+}
+
+// softmaxInto writes softmax(in) into dst with the max-subtraction trick.
+func softmaxInto(dst, in []float64) {
+	m := in[0]
+	for _, v := range in[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	s := 0.0
+	for j, v := range in {
+		e := math.Exp(v - m)
+		dst[j] = e
+		s += e
+	}
+	inv := 1 / s
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// Softmax computes a numerically-stable softmax of a rank-1 tensor.
+func Softmax(t *Tensor) *Tensor {
+	out := New(t.Shape...)
+	softmaxInto(out.Data, t.Data)
+	return out
+}
+
+// Entropy returns the Shannon entropy (natural log) of a probability vector.
+// Zero probabilities contribute zero, by the usual 0·log 0 = 0 convention.
+// This is the predictive-entropy primitive of TeamNet (Section IV-A).
+func Entropy(p *Tensor) float64 {
+	h := 0.0
+	for _, v := range p.Data {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// EntropyRows returns the Shannon entropy of each row of a rank-2 tensor of
+// probability vectors.
+func EntropyRows(p *Tensor) *Tensor {
+	p.mustRank(2)
+	r, c := p.Shape[0], p.Shape[1]
+	out := New(r)
+	for i := 0; i < r; i++ {
+		h := 0.0
+		for _, v := range p.Data[i*c : (i+1)*c] {
+			if v > 0 {
+				h -= v * math.Log(v)
+			}
+		}
+		out.Data[i] = h
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor in a new tensor.
+func Transpose(t *Tensor) *Tensor {
+	t.mustRank(2)
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.Data[j*r+i] = t.Data[i*c+j]
+		}
+	}
+	return out
+}
+
+// Clip limits every element of t to the interval [lo, hi], in place.
+func (t *Tensor) Clip(lo, hi float64) {
+	for i, v := range t.Data {
+		if v < lo {
+			t.Data[i] = lo
+		} else if v > hi {
+			t.Data[i] = hi
+		}
+	}
+}
+
+// HasNaN reports whether any element is NaN or infinite, a guard used by
+// training loops to fail fast on divergence.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func mustSameShape(op string, t, u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.Shape, u.Shape))
+	}
+}
+
+func mustSameSize(op string, t, u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic(fmt.Sprintf("tensor: %s size mismatch %d vs %d", op, len(t.Data), len(u.Data)))
+	}
+}

@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source for tensor initialization and data
+// synthesis. Every stochastic component of the reproduction (weight init,
+// dataset generation, the latent z of the TeamNet gate, SG-MoE gating noise)
+// draws from an explicitly-seeded RNG so experiments are replayable.
+//
+// RNG is not safe for concurrent use; give each goroutine its own instance
+// (use Split).
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent RNG from r, keyed by id. Deriving rather than
+// sharing keeps parallel components deterministic regardless of scheduling.
+func (r *RNG) Split(id int64) *RNG {
+	const golden = int64(0x5851F42D4C957F2D) // Knuth MMIX multiplier
+	return NewRNG(r.src.Int63() ^ (id * golden))
+}
+
+// Float64 returns a uniform sample from [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uniform returns a uniform sample from [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Norm returns a standard normal sample.
+func (r *RNG) Norm() float64 { return r.src.NormFloat64() }
+
+// Intn returns a uniform sample from {0, ..., n-1}.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Perm returns a random permutation of {0, ..., n-1}.
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle randomly permutes idx in place.
+func (r *RNG) Shuffle(idx []int) {
+	r.src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// Randn returns a tensor of the given shape with i.i.d. N(0, 1) entries.
+func (r *RNG) Randn(shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = r.src.NormFloat64()
+	}
+	return t
+}
+
+// RandnScaled returns a tensor with i.i.d. N(0, sigma²) entries.
+func (r *RNG) RandnScaled(sigma float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = sigma * r.src.NormFloat64()
+	}
+	return t
+}
+
+// RandUniform returns a tensor with i.i.d. U[lo, hi) entries. TeamNet's gate
+// trainer draws its latent vector z from U(-1, 1) this way (Algorithm 2).
+func (r *RNG) RandUniform(lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*r.src.Float64()
+	}
+	return t
+}
+
+// XavierUniform returns a (fanIn × fanOut) weight matrix initialized with
+// the Glorot/Xavier uniform scheme, the default for dense layers.
+func (r *RNG) XavierUniform(fanIn, fanOut int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return r.RandUniform(-limit, limit, fanIn, fanOut)
+}
+
+// HeNormal returns a weight tensor initialized with the He/Kaiming normal
+// scheme (std = sqrt(2/fanIn)), the default for ReLU convolutions.
+func (r *RNG) HeNormal(fanIn int, shape ...int) *Tensor {
+	return r.RandnScaled(math.Sqrt(2.0/float64(fanIn)), shape...)
+}

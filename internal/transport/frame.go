@@ -1,0 +1,64 @@
+// Package transport implements the wire layer of the reproduction: a
+// length-prefixed binary framing over io.Reader/Writer (used by the cluster
+// runtime and the MPI substrate, standing in for the paper's raw TCP
+// sockets) and a minimal request/response RPC system with method dispatch
+// (standing in for gRPC in the SG-MoE-G baseline).
+//
+// Everything is stdlib-only and transport-agnostic: the same code runs over
+// real TCP connections, in-process pipes in unit tests, and the loopback
+// links of the benchmark harness. The edge-network simulation
+// (internal/edgesim) prices messages by the byte counts this package
+// produces, so frames are exactly what "the network" sees.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame's payload (64 MiB). Inference inputs,
+// activation tensors and model snapshots in this system are far smaller;
+// the bound exists to fail fast on corrupted length prefixes.
+const MaxFrameSize = 64 << 20
+
+// Frame header layout: 4-byte big-endian payload length, 1-byte type.
+const frameHeaderSize = 5
+
+// WriteFrame writes one typed frame to w.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("transport: frame payload %d exceeds max %d", len(payload), MaxFrameSize)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = msgType
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one typed frame from r.
+func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("transport: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("transport: frame payload %d exceeds max %d", n, MaxFrameSize)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: read frame payload: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// FrameWireSize returns the number of bytes a payload of length n occupies
+// on the wire, the quantity the network cost model prices.
+func FrameWireSize(n int) int { return frameHeaderSize + n }

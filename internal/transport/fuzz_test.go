@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Fuzz targets for the wire codecs: decoders face bytes from the network
+// and must never panic or over-allocate, whatever arrives. `go test` runs
+// the seed corpus; `go test -fuzz` explores further.
+
+func FuzzDecodeTensor(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 0, 0, 4})
+	f.Add([]byte{2, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(EncodeTensor(tensor.NewRNG(1).Randn(2, 3)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, used, err := DecodeTensor(data)
+		if err != nil {
+			return
+		}
+		if used > len(data) {
+			t.Fatalf("consumed %d of %d bytes", used, len(data))
+		}
+		// A successful decode must re-encode to the same bytes it consumed.
+		if !bytes.Equal(EncodeTensor(got), data[:used]) {
+			t.Fatal("decode/encode not a retraction")
+		}
+	})
+}
+
+func FuzzDecodeFloats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(EncodeFloats([]float64{1.5, -2.5}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, used, err := DecodeFloats(data)
+		if err != nil {
+			return
+		}
+		if used > len(data) {
+			t.Fatalf("consumed %d of %d bytes", used, len(data))
+		}
+		if !bytes.Equal(EncodeFloats(vs), data[:used]) {
+			t.Fatal("floats decode/encode not a retraction")
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, 3, []byte("payload"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 9})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if werr := WriteFrame(&out, typ, payload); werr != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", werr)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatal("frame decode/encode not a retraction")
+		}
+	})
+}
+
+func FuzzRPCEnvelope(f *testing.F) {
+	f.Add(encodeRPCRequest(1, "predict", []byte("body")))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, method, body, err := decodeRPCEnvelope(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeRPCRequest(id, method, body), data) {
+			t.Fatal("rpc envelope decode/encode not a retraction")
+		}
+	})
+}

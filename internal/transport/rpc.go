@@ -1,0 +1,313 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file implements the RPC layer standing in for gRPC in the paper's
+// SG-MoE-G baseline: typed request/response with string method dispatch over
+// a single multiplexed connection. The envelope carries a call id, a method
+// name and a status byte — deliberately heavier than the raw framing the
+// TeamNet cluster protocol uses, mirroring the gRPC-vs-socket overhead gap
+// the paper measures.
+
+// RPC frame types.
+const (
+	rpcRequest  byte = 1
+	rpcResponse byte = 2
+)
+
+const rpcOK byte = 0
+
+// Handler processes one RPC request body and returns the response body.
+type Handler func(req []byte) ([]byte, error)
+
+// RPCServer serves registered methods over accepted connections.
+type RPCServer struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewRPCServer returns a server with no registered methods.
+func NewRPCServer() *RPCServer {
+	return &RPCServer{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register adds a method. Registering after Serve has started is safe;
+// re-registering a name replaces the handler.
+func (s *RPCServer) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen binds the server to addr ("host:port"; use ":0" for an ephemeral
+// port) and starts accepting in a background goroutine. The returned
+// address is the concrete bound address.
+func (s *RPCServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: rpc listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *RPCServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one connection until EOF or error.
+func (s *RPCServer) serveConn(conn io.ReadWriter) {
+	var wmu sync.Mutex
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if typ != rpcRequest {
+			return
+		}
+		id, method, body, err := decodeRPCEnvelope(payload)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handlers[method]
+		s.mu.Unlock()
+		// Dispatch concurrently so slow methods don't head-of-line block
+		// the connection (gRPC-like semantics).
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			var status byte
+			var resp []byte
+			if h == nil {
+				status, resp = 1, []byte(fmt.Sprintf("unknown method %q", method))
+			} else if out, herr := h(body); herr != nil {
+				status, resp = 1, []byte(herr.Error())
+			} else {
+				status, resp = rpcOK, out
+			}
+			env := encodeRPCResponse(id, status, resp)
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = WriteFrame(conn, rpcResponse, env) // peer gone: drop
+		}()
+	}
+}
+
+// Close stops accepting, closes open connections, and waits for in-flight
+// handlers.
+func (s *RPCServer) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// RPCClient issues calls over one connection; safe for concurrent use.
+type RPCClient struct {
+	conn net.Conn
+
+	wmu    sync.Mutex
+	mu     sync.Mutex
+	nextID uint64
+	calls  map[uint64]chan rpcReply
+	err    error
+
+	wg sync.WaitGroup
+}
+
+type rpcReply struct {
+	status byte
+	body   []byte
+}
+
+// DialRPC connects to an RPCServer.
+func DialRPC(addr string) (*RPCClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rpc dial %s: %w", addr, err)
+	}
+	c := &RPCClient{conn: conn, calls: make(map[uint64]chan rpcReply)}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *RPCClient) readLoop() {
+	defer c.wg.Done()
+	for {
+		typ, payload, err := ReadFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if typ != rpcResponse || len(payload) < 9 {
+			c.failAll(errors.New("transport: malformed rpc response"))
+			return
+		}
+		id := binary.BigEndian.Uint64(payload[:8])
+		status := payload[8]
+		body := payload[9:]
+		c.mu.Lock()
+		ch := c.calls[id]
+		delete(c.calls, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rpcReply{status: status, body: body}
+		}
+	}
+}
+
+func (c *RPCClient) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.calls {
+		close(ch)
+		delete(c.calls, id)
+	}
+}
+
+// Call invokes method with body and returns the response body. It blocks
+// until the server responds or the connection fails.
+func (c *RPCClient) Call(method string, body []byte) ([]byte, error) {
+	ch := make(chan rpcReply, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.calls[id] = ch
+	c.mu.Unlock()
+
+	env := encodeRPCRequest(id, method, body)
+	c.wmu.Lock()
+	err := WriteFrame(c.conn, rpcRequest, env)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("transport: rpc connection closed")
+		}
+		return nil, err
+	}
+	if reply.status != rpcOK {
+		return nil, fmt.Errorf("transport: rpc %s: %s", method, reply.body)
+	}
+	return reply.body, nil
+}
+
+// Close tears down the connection and waits for the reader.
+func (c *RPCClient) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// encodeRPCRequest lays out: 8-byte id, 2-byte method length, method, body.
+func encodeRPCRequest(id uint64, method string, body []byte) []byte {
+	buf := make([]byte, 8+2+len(method)+len(body))
+	binary.BigEndian.PutUint64(buf, id)
+	binary.BigEndian.PutUint16(buf[8:], uint16(len(method)))
+	copy(buf[10:], method)
+	copy(buf[10+len(method):], body)
+	return buf
+}
+
+func decodeRPCEnvelope(payload []byte) (id uint64, method string, body []byte, err error) {
+	if len(payload) < 10 {
+		return 0, "", nil, errors.New("transport: rpc request too short")
+	}
+	id = binary.BigEndian.Uint64(payload[:8])
+	mlen := int(binary.BigEndian.Uint16(payload[8:10]))
+	if len(payload) < 10+mlen {
+		return 0, "", nil, errors.New("transport: rpc method truncated")
+	}
+	method = string(payload[10 : 10+mlen])
+	body = payload[10+mlen:]
+	return id, method, body, nil
+}
+
+// encodeRPCResponse lays out: 8-byte id, 1-byte status, body.
+func encodeRPCResponse(id uint64, status byte, body []byte) []byte {
+	buf := make([]byte, 9+len(body))
+	binary.BigEndian.PutUint64(buf, id)
+	buf[8] = status
+	copy(buf[9:], body)
+	return buf
+}
+
+// RPCWireOverhead is the per-call envelope cost beyond the body: request
+// envelope (id + method length + method name) plus response envelope
+// (id + status), plus two frame headers. The cost model uses it to price
+// SG-MoE-G calls against raw-socket messages.
+func RPCWireOverhead(method string) int {
+	return (8 + 2 + len(method)) + (8 + 1) + 2*frameHeaderSize
+}

@@ -1,0 +1,118 @@
+package teamnet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/teamnet/teamnet"
+)
+
+// TestPublicAPIEndToEnd exercises the documented public surface the way
+// examples/quickstart does: data → train → evaluate → serialize → serve.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds := teamnet.Digits(teamnet.DigitsConfig{N: 400, H: 12, W: 12, Seed: 1})
+	train, test := ds.Split(0.8, teamnet.NewRNG(2))
+
+	spec, err := teamnet.DigitsExpert(2, ds.Features(), ds.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := teamnet.NewTrainer(teamnet.Config{
+		K: 2, ExpertSpec: spec, Epochs: 8, BatchSize: 40, ExpertLR: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, hist := trainer.Train(train)
+	if team.K() != 2 || len(hist.Stats) == 0 {
+		t.Fatal("training produced no team/history")
+	}
+	if acc := team.Accuracy(test.X, test.Y); acc < 0.3 {
+		t.Fatalf("API-trained team accuracy %v", acc)
+	}
+
+	var buf bytes.Buffer
+	if err := team.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := teamnet.LoadTeam(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve the loaded team's expert 1 and infer over real TCP.
+	worker := teamnet.NewWorker(loaded.Experts[1], 1)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	master := teamnet.NewMaster(loaded.Experts[0], ds.Classes)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	probs, winners, err := master.Infer(test.X.SelectRows([]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs.Rows() != 2 || len(winners) != 2 {
+		t.Fatal("distributed inference shape wrong")
+	}
+
+	// Election over the worker set.
+	isLeader, leaderID, err := teamnet.ElectLeader(5, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isLeader || leaderID != 5 {
+		t.Fatalf("election: %v %d", isLeader, leaderID)
+	}
+}
+
+func TestPublicAPIBaselineAndMoE(t *testing.T) {
+	ds := teamnet.Digits(teamnet.DigitsConfig{N: 300, H: 12, W: 12, Seed: 9})
+	train, test := ds.Split(0.8, teamnet.NewRNG(10))
+
+	base, err := teamnet.DigitsBaseline(ds.Features(), ds.Classes).Build(teamnet.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	teamnet.TrainClassifier(base, train, 3, 40, 0.002, 12)
+	if acc := base.Accuracy(test.X, test.Y); acc < 0.2 {
+		t.Fatalf("baseline accuracy %v after 3 epochs", acc)
+	}
+
+	spec, err := teamnet.DigitsExpert(2, ds.Features(), ds.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := teamnet.TrainMoE(teamnet.MoEConfig{
+		K: 2, ExpertSpec: spec, Epochs: 2, BatchSize: 40, LR: 0.005, Seed: 13,
+	}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test.X, test.Y); acc < 0 || acc > 1 {
+		t.Fatalf("moe accuracy out of range: %v", acc)
+	}
+}
+
+func TestPublicAPIObjectsSpecs(t *testing.T) {
+	ds := teamnet.Objects(teamnet.ObjectsConfig{N: 40, H: 8, W: 8, Seed: 20})
+	if ds.Classes != 10 || ds.C != 3 {
+		t.Fatalf("objects dataset geometry: %d classes, %d channels", ds.Classes, ds.C)
+	}
+	spec := teamnet.ObjectsBaseline(3, 8, 8, 10)
+	net, err := spec.Build(teamnet.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := net.Forward(ds.X.SelectRows([]int{0}), false)
+	if y.Dim(-1) != 10 {
+		t.Fatalf("baseline output width %d", y.Dim(-1))
+	}
+	if _, err := teamnet.ObjectsExpert(3, 3, 8, 8, 10); err == nil {
+		t.Fatal("K=3 object expert accepted")
+	}
+}
