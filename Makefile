@@ -1,0 +1,28 @@
+# Build, test and verification entry points. `make verify` is the
+# robustness gate: vet plus the failure-path packages (cluster runtime,
+# transport, chaos proxy) under the race detector — the chaos-driven
+# recovery tests only count if they pass with -race.
+
+GO ?= go
+
+.PHONY: build test verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The short run keeps the full-suite half fast while still executing the
+# transport fuzz seed corpora (wired into Test* functions) and every unit
+# test; the race half hammers the self-healing runtime.
+verify:
+	$(GO) vet ./...
+	$(GO) test -short ./...
+	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

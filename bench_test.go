@@ -13,9 +13,11 @@ package teamnet_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/teamnet/teamnet"
 	"github.com/teamnet/teamnet/internal/bench"
+	"github.com/teamnet/teamnet/internal/chaos"
 	"github.com/teamnet/teamnet/internal/cluster"
 	"github.com/teamnet/teamnet/internal/dataset"
 	"github.com/teamnet/teamnet/internal/tensor"
@@ -146,6 +148,46 @@ func BenchmarkClusterRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := master.Infer(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRoundTripChaosLatency measures the supervised round trip
+// through the fault-injection proxy adding 1ms each way — the price of
+// surviving a degraded link, retry machinery included.
+func BenchmarkClusterRoundTripChaosLatency(b *testing.B) {
+	l := sharedLab()
+	team, _, err := l.DigitsTeam(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := l.Digits()
+
+	worker := cluster.NewWorker(team.Experts[1], 1)
+	workerAddr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer worker.Close()
+	proxy := chaos.New(workerAddr, chaos.Fault{Mode: chaos.Latency, Delay: time.Millisecond})
+	proxyAddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer proxy.Close()
+
+	master := cluster.NewMaster(team.Experts[0], 10)
+	master.SetTimeout(2 * time.Second)
+	if err := master.Connect(proxyAddr); err != nil {
+		b.Fatal(err)
+	}
+	defer master.Close()
+
+	x := test.X.SelectRows([]int{0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := master.InferBestEffort(x); err != nil {
 			b.Fatal(err)
 		}
 	}

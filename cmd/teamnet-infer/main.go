@@ -45,6 +45,11 @@ func run() error {
 		seed     = flag.Int64("seed", 99, "seed for the query stream")
 		elect    = flag.Bool("elect", false, "run leader election and exit")
 		id       = flag.Int("id", 0, "this node's election identity")
+
+		bestEffort = flag.Bool("best-effort", false, "route around failed/quarantined peers instead of failing the query")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-peer round-trip deadline (0 = none)")
+		retries    = flag.Int("retries", 1, "per-request retry budget for transient peer errors")
+		health     = flag.Bool("health", true, "print the per-peer supervision report after the run")
 	)
 	flag.Parse()
 
@@ -77,13 +82,20 @@ func run() error {
 	}
 	master := cluster.NewMaster(localExpert, team.Classes)
 	defer master.Close()
+	master.SetTimeout(*timeout)
+	master.SetSupervisor(cluster.SupervisorConfig{MaxRetries: *retries})
 	for _, addr := range peerAddrs {
 		if err := master.Connect(addr); err != nil {
 			return err
 		}
 	}
 	if err := master.Ping(); err != nil {
-		return err
+		if !*bestEffort {
+			return err
+		}
+		// Degraded start is acceptable in best-effort mode; the supervisor
+		// will keep probing the sick peers.
+		fmt.Printf("warning: %v\n", err)
 	}
 	fmt.Printf("connected to %d peer(s); local expert: %v\n", master.Peers(), *local >= 0)
 
@@ -94,11 +106,25 @@ func run() error {
 
 	var lat metrics.Summary
 	winnerCount := make(map[int]int)
+	liveCount := make(map[int]int) // participating-node count → queries
 	allProbs := tensor.New(ds.Len(), ds.Classes)
 	for i := 0; i < ds.Len(); i++ {
 		x := ds.X.SelectRows([]int{i})
 		start := time.Now()
-		probs, winners, err := master.Infer(x)
+		var (
+			probs   *tensor.Tensor
+			winners []int
+			err     error
+		)
+		if *bestEffort {
+			var live int
+			probs, winners, live, err = master.InferBestEffort(x)
+			if err == nil {
+				liveCount[live]++
+			}
+		} else {
+			probs, winners, err = master.Infer(x)
+		}
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
@@ -113,5 +139,11 @@ func run() error {
 	fmt.Print(eval)
 	fmt.Printf("latency: %s\n", lat.String())
 	fmt.Printf("winning node histogram: %v\n", winnerCount)
+	if *bestEffort {
+		fmt.Printf("live node histogram: %v\n", liveCount)
+	}
+	if *health {
+		fmt.Printf("peer health:\n%s", master.HealthReport())
+	}
 	return nil
 }

@@ -5,6 +5,12 @@
 // Example:
 //
 //	teamnet-node -team team.tnet -expert 1 -listen :7001 -id 1
+//
+// For resilience drills, -chaos fronts the worker with a fault-injection
+// proxy so the public address misbehaves like real edge WiFi:
+//
+//	teamnet-node -team team.tnet -expert 1 -listen :7001 -chaos reset:0.3
+//	teamnet-node -listen :7001 -chaos "latency:50ms,stall:0.1"
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"github.com/teamnet/teamnet/internal/chaos"
 	"github.com/teamnet/teamnet/internal/cluster"
 	"github.com/teamnet/teamnet/internal/core"
 )
@@ -27,15 +34,21 @@ func main() {
 
 func run() error {
 	var (
-		teamPath = flag.String("team", "team.tnet", "team bundle from teamnet-train")
-		expert   = flag.Int("expert", 0, "which expert of the bundle to serve")
-		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
-		id       = flag.Int("id", 0, "election identity (unique per node; higher wins)")
-		replicas = flag.Int("replicas", 1, "expert replicas for concurrent serving")
+		teamPath  = flag.String("team", "team.tnet", "team bundle from teamnet-train")
+		expert    = flag.Int("expert", 0, "which expert of the bundle to serve")
+		listen    = flag.String("listen", "127.0.0.1:7001", "listen address")
+		id        = flag.Int("id", 0, "election identity (unique per node; higher wins)")
+		replicas  = flag.Int("replicas", 1, "expert replicas for concurrent serving")
+		chaosSpec = flag.String("chaos", "", "serve through a fault-injection proxy: comma-separated mode:arg specs (latency:50ms, stall:0.3, reset:0.3, truncate:0.1, corrupt:0.05, dropnth:3)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos fault die")
 	)
 	flag.Parse()
 	if *replicas < 1 {
 		return fmt.Errorf("replicas must be ≥ 1")
+	}
+	plan, err := chaos.ParsePlan(*chaosSpec)
+	if err != nil {
+		return err
 	}
 
 	f, err := os.Open(*teamPath)
@@ -56,9 +69,29 @@ func run() error {
 		return err
 	}
 	worker := cluster.NewWorkerPool(pool, *id)
-	addr, err := worker.Listen(*listen)
-	if err != nil {
-		return err
+
+	var proxy *chaos.Proxy
+	addr := *listen
+	if len(plan) > 0 {
+		// The worker binds an ephemeral loopback port; the chaos proxy owns
+		// the public address and injects faults on everything crossing it.
+		workerAddr, err := worker.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		proxy = chaos.New(workerAddr, plan...)
+		proxy.Reseed(*chaosSeed)
+		addr, err = proxy.Listen(*listen)
+		if err != nil {
+			worker.Close()
+			return err
+		}
+		fmt.Printf("chaos proxy on %s → %s injecting %s\n", addr, workerAddr, *chaosSpec)
+	} else {
+		addr, err = worker.Listen(*listen)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("serving expert %d/%d (%s, %d replica(s)) on %s, election id %d\n",
 		*expert, team.K(), team.Spec.Label(), *replicas, addr, *id)
@@ -67,5 +100,18 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
-	return worker.Close()
+	if proxy != nil {
+		fmt.Printf("chaos injections:\n%s", proxy.Counters())
+	}
+	if served := worker.Counters().String(); served != "" {
+		fmt.Printf("worker counters:\n%s", served)
+	}
+	var firstErr error
+	if proxy != nil {
+		firstErr = proxy.Close()
+	}
+	if err := worker.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

@@ -34,7 +34,7 @@ func (m *Master) InferAdaptive(x *tensor.Tensor, entropyThreshold float64) (Adap
 		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive inference requires a local expert")
 	}
 	batch := x.Shape[0]
-	probs, ent := m.local.PredictWithEntropy(x)
+	probs, ent := m.localPredict(x)
 	res := AdaptiveResult{
 		Probs:     probs.Clone(),
 		Escalated: make([]bool, batch),
@@ -68,7 +68,7 @@ func (m *Master) EscalationRate(x *tensor.Tensor, entropyThreshold float64) (flo
 	if m.local == nil {
 		return 0, fmt.Errorf("cluster: escalation rate requires a local expert")
 	}
-	_, ent := m.local.PredictWithEntropy(x)
+	_, ent := m.localPredict(x)
 	n := 0
 	for _, h := range ent.Data {
 		if h > entropyThreshold {

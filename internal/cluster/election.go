@@ -2,10 +2,14 @@ package cluster
 
 import (
 	"fmt"
-	"net"
+	"time"
 
 	"github.com/teamnet/teamnet/internal/transport"
 )
+
+// electProbeTimeout bounds one election probe (dial + round trip): a
+// stalled peer must count as dead, not wedge the election.
+const electProbeTimeout = 2 * time.Second
 
 // Bully leader election — the distributed option for Figure 1(d) step 5
 // ("this last step can be done distributedly, e.g., using a leader election
@@ -41,11 +45,14 @@ func ElectLeader(myID int, peerAddrs []string) (isLeader bool, leaderID int, err
 
 // probePeerID asks one worker for its election id.
 func probePeerID(addr string) (int, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := transport.Dial(addr, electProbeTimeout)
 	if err != nil {
 		return 0, fmt.Errorf("cluster: election dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(electProbeTimeout)); err != nil {
+		return 0, fmt.Errorf("cluster: election deadline %s: %w", addr, err)
+	}
 	if err := transport.WriteFrame(conn, MsgElection, nil); err != nil {
 		return 0, fmt.Errorf("cluster: election send %s: %w", addr, err)
 	}

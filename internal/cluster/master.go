@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/teamnet/teamnet/internal/metrics"
 	"github.com/teamnet/teamnet/internal/nn"
 	"github.com/teamnet/teamnet/internal/tensor"
 	"github.com/teamnet/teamnet/internal/transport"
@@ -15,26 +17,55 @@ import (
 // broadcasts each input to all worker peers (step 2), runs its expert in
 // parallel with theirs (step 3), gathers results with uncertainties
 // (step 4) and selects the least-uncertain prediction (step 5).
+//
+// Every peer is supervised (see supervisor.go): broken connections redial
+// with backoff, transient errors retry within a bounded budget, and a
+// repeatedly-failing peer is quarantined by a circuit breaker and probed
+// back into rotation — the master survives worker churn without restarts.
 type Master struct {
-	local   *nn.Network // this node's expert; may be nil (pure coordinator)
-	classes int
-	timeout time.Duration // per-round-trip deadline; 0 = none
+	local    *nn.Network // this node's expert; may be nil (pure coordinator)
+	localMu  sync.Mutex  // nn.Network is single-goroutine; Infer may not be
+	classes  int
+	counters *metrics.CounterSet
 
-	mu    sync.Mutex
-	peers []*peerConn
+	mu      sync.Mutex
+	timeout time.Duration // per-round-trip deadline; 0 = none
+	sup     SupervisorConfig
+	peers   []*peerConn
+	done    chan struct{} // closed by Close; stops retries and probes
+	closed  bool
+
+	probeWG sync.WaitGroup // background probe loops
 }
 
 type peerConn struct {
-	addr    string
+	addr     string
+	counters *metrics.CounterSet
+	done     <-chan struct{}
+	wg       *sync.WaitGroup
+
+	mu      sync.Mutex // one in-flight request per peer connection
 	conn    net.Conn
 	timeout time.Duration
-	mu      sync.Mutex // one in-flight request per peer connection
+
+	stateMu sync.Mutex // guards the supervision state machine
+	cfg     SupervisorConfig
+	state   PeerState
+	fails   int
+	probing bool
+	closed  bool
 }
 
 // NewMaster returns a master with an optional local expert. classes is the
 // classifier width, needed to shape gathered results.
 func NewMaster(local *nn.Network, classes int) *Master {
-	return &Master{local: local, classes: classes}
+	return &Master{
+		local:    local,
+		classes:  classes,
+		counters: metrics.NewCounterSet(),
+		sup:      DefaultSupervisorConfig(),
+		done:     make(chan struct{}),
+	}
 }
 
 // SetTimeout bounds every subsequent per-peer round trip. A worker that
@@ -52,15 +83,50 @@ func (m *Master) SetTimeout(d time.Duration) {
 	}
 }
 
-// Connect dials a worker and adds it to the broadcast set.
+// SetSupervisor replaces the peer lifecycle policy (retry budget, breaker
+// threshold, backoff schedules). Zero fields fall back to defaults. Affects
+// peers connected before and after the call.
+func (m *Master) SetSupervisor(cfg SupervisorConfig) {
+	cfg = cfg.normalized()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sup = cfg
+	for _, p := range m.peers {
+		p.stateMu.Lock()
+		p.cfg = cfg
+		p.stateMu.Unlock()
+	}
+}
+
+// Connect dials a worker and adds it to the broadcast set. The initial dial
+// is eager — a wrong address should fail loudly at setup — but from then on
+// the supervisor owns the connection and redials it as needed.
 func (m *Master) Connect(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	m.mu.Lock()
+	cfg := m.sup
+	timeout := m.timeout
+	m.mu.Unlock()
+	conn, err := transport.Dial(addr, cfg.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("cluster: master dial %s: %w", addr, err)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.peers = append(m.peers, &peerConn{addr: addr, conn: conn, timeout: m.timeout})
+	if m.closed {
+		conn.Close()
+		return fmt.Errorf("cluster: master is closed")
+	}
+	p := &peerConn{
+		addr:     addr,
+		counters: m.counters,
+		done:     m.done,
+		wg:       &m.probeWG,
+		conn:     conn,
+		timeout:  timeout,
+		cfg:      cfg,
+		state:    PeerHealthy,
+	}
+	m.peers = append(m.peers, p)
 	return nil
 }
 
@@ -71,14 +137,32 @@ func (m *Master) Peers() int {
 	return len(m.peers)
 }
 
+// localPredict serializes the local expert: nn.Network is single-goroutine
+// but Infer is safe to call concurrently.
+func (m *Master) localPredict(x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	m.localMu.Lock()
+	defer m.localMu.Unlock()
+	return m.local.PredictWithEntropy(x)
+}
+
+// snapshotPeers copies the peer slice for lock-free fan-out.
+func (m *Master) snapshotPeers() []*peerConn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*peerConn(nil), m.peers...)
+}
+
 // Infer performs one collaborative inference on a batch: broadcast, parallel
 // local + remote prediction, gather, arg-min-entropy selection. It returns
 // the combined probabilities and, per sample, the index of the winning node
 // (0 = this node, 1.. = peers in connection order).
+//
+// Every peer round trip carries the supervisor's retry budget, so a single
+// transient I/O error no longer fails the batch; a peer that exhausts its
+// budget (or sits behind an open breaker) still fails the strict protocol —
+// use InferBestEffort to route around it instead.
 func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
-	m.mu.Lock()
-	peers := append([]*peerConn(nil), m.peers...)
-	m.mu.Unlock()
+	peers := m.snapshotPeers()
 
 	batch := x.Shape[0]
 	nodes := len(peers)
@@ -106,12 +190,12 @@ func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
 		wg.Add(1)
 		go func(p *peerConn, slot int) {
 			defer wg.Done()
-			res, err := p.roundTrip(payload)
+			res, err := p.do(payload)
 			results[slot], errs[slot] = res, err
 		}(p, slot)
 	}
 	if localIdx == 0 {
-		probs, ent := m.local.PredictWithEntropy(x)
+		probs, ent := m.localPredict(x)
 		results[0] = PredictResult{Probs: probs, Entropy: ent.Data}
 	}
 	wg.Wait()
@@ -139,13 +223,13 @@ func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
 
 // InferBestEffort is the degraded-mode variant of Infer for lossy edge
 // deployments: nodes that fail (or exceed the master's timeout) are
-// excluded from the arg-min instead of failing the whole inference. It
-// errors only when no node at all produced a result. The returned live
-// count reports how many nodes participated.
+// excluded from the arg-min instead of failing the whole inference, and
+// peers behind an open circuit breaker are skipped outright — sick nodes
+// cost nothing while they recover. It errors only when no node at all
+// produced a result. The returned live count reports how many nodes
+// participated.
 func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winners []int, live int, err error) {
-	m.mu.Lock()
-	peers := append([]*peerConn(nil), m.peers...)
-	m.mu.Unlock()
+	peers := m.snapshotPeers()
 
 	batch := x.Shape[0]
 	nodes := len(peers)
@@ -166,17 +250,21 @@ func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winner
 		if localIdx == 0 {
 			slot = i + 1
 		}
+		if !p.available() {
+			m.counters.Counter("route.skipped_quarantined").Inc()
+			continue
+		}
 		wg.Add(1)
 		go func(p *peerConn, slot int) {
 			defer wg.Done()
-			res, rerr := p.roundTrip(payload)
+			res, rerr := p.do(payload)
 			if rerr == nil {
 				results[slot], ok[slot] = res, true
 			}
 		}(p, slot)
 	}
 	if localIdx == 0 {
-		pr, ent := m.local.PredictWithEntropy(x)
+		pr, ent := m.localPredict(x)
 		results[0], ok[0] = PredictResult{Probs: pr, Entropy: ent.Data}, true
 	}
 	wg.Wait()
@@ -208,54 +296,18 @@ func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winner
 	return probs, winners, live, nil
 }
 
-// roundTrip sends one predict request and reads the result.
-func (p *peerConn) roundTrip(payload []byte) (PredictResult, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.timeout > 0 {
-		if err := p.conn.SetDeadline(time.Now().Add(p.timeout)); err != nil {
-			return PredictResult{}, fmt.Errorf("set deadline: %w", err)
-		}
-		defer p.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
-	}
-	if err := transport.WriteFrame(p.conn, MsgPredict, payload); err != nil {
-		return PredictResult{}, err
-	}
-	typ, resp, err := transport.ReadFrame(p.conn)
-	if err != nil {
-		return PredictResult{}, err
-	}
-	switch typ {
-	case MsgResult:
-		return DecodeResult(resp)
-	case MsgError:
-		return PredictResult{}, fmt.Errorf("worker error: %s", resp)
-	default:
-		return PredictResult{}, fmt.Errorf("unexpected frame type %d", typ)
-	}
-}
-
-// Ping probes every peer, returning the first failure.
+// Ping probes every peer within the configured per-peer timeout and reports
+// every unreachable peer (joined into one error), not just the first — a
+// health sweep, not a first-failure trip wire.
 func (m *Master) Ping() error {
-	m.mu.Lock()
-	peers := append([]*peerConn(nil), m.peers...)
-	m.mu.Unlock()
+	peers := m.snapshotPeers()
+	var errs []error
 	for _, p := range peers {
-		p.mu.Lock()
-		err := transport.WriteFrame(p.conn, MsgPing, nil)
-		if err == nil {
-			var typ byte
-			typ, _, err = transport.ReadFrame(p.conn)
-			if err == nil && typ != MsgPong {
-				err = fmt.Errorf("cluster: ping got frame type %d", typ)
-			}
-		}
-		p.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("cluster: ping %s: %w", p.addr, err)
+		if err := p.ping(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Accuracy measures combined accuracy over a labelled set.
@@ -273,16 +325,31 @@ func (m *Master) Accuracy(x *tensor.Tensor, y []int) (float64, error) {
 	return float64(correct) / float64(len(y)), nil
 }
 
-// Close drops all peer connections.
+// Close drops all peer connections and stops background supervision.
 func (m *Master) Close() error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	var firstErr error
-	for _, p := range m.peers {
-		if err := p.conn.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+	if m.closed {
+		m.mu.Unlock()
+		return nil
 	}
+	m.closed = true
+	peers := m.peers
 	m.peers = nil
+	close(m.done)
+	m.mu.Unlock()
+
+	var firstErr error
+	for _, p := range peers {
+		p.markClosed()
+		p.mu.Lock()
+		if p.conn != nil {
+			if err := p.conn.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	m.probeWG.Wait()
 	return firstErr
 }

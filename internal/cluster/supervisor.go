@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/metrics"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// Peer supervision: the self-healing half of the cluster runtime. The paper
+// deploys TeamNet over edge WiFi (Fig 1d, §V), where links stall, reset and
+// come back; a master that treats a peer as immortal turns one flaky node
+// into a permanently poisoned slot. Each peer therefore runs a small state
+// machine:
+//
+//	healthy ──failure──▶ suspect ──threshold──▶ open (quarantined)
+//	   ▲                    │                     │ probe ping
+//	   └──────success───────┘      half-open ◀────┘
+//	   └─────────────── probe success ────────────┘
+//
+// Healthy and suspect peers are routed; an open peer is skipped by
+// InferBestEffort and fails fast under strict Infer. A background probe
+// redials and pings the quarantined peer on an exponential-backoff-with-
+// jitter schedule and re-admits it on the first successful pong — so a
+// worker that reboots, or a WiFi link that heals, rejoins rotation without
+// anyone restarting the master.
+
+// PeerState is one node of the supervision state machine.
+type PeerState int32
+
+const (
+	// PeerHealthy: routed, no recent failures.
+	PeerHealthy PeerState = iota
+	// PeerSuspect: routed, but accumulating consecutive failures; redials
+	// happen in-line with bounded retries.
+	PeerSuspect
+	// PeerOpen: circuit open — quarantined, skipped by routing, being
+	// probed in the background.
+	PeerOpen
+	// PeerHalfOpen: a probe is in flight; still not routed.
+	PeerHalfOpen
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerHealthy:
+		return "healthy"
+	case PeerSuspect:
+		return "suspect"
+	case PeerOpen:
+		return "open"
+	case PeerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("PeerState(%d)", int32(s))
+	}
+}
+
+// SupervisorConfig tunes the peer lifecycle. The zero value means "use the
+// defaults" for every field.
+type SupervisorConfig struct {
+	// MaxRetries is the per-request retry budget beyond the first attempt
+	// (transient I/O errors only; worker-reported errors are not retried).
+	MaxRetries int
+	// FailureThreshold is the consecutive-failure count that trips the
+	// circuit breaker.
+	FailureThreshold int
+	// DialTimeout bounds every connect and reconnect attempt.
+	DialTimeout time.Duration
+	// RetryBackoff schedules waits between in-request retries.
+	RetryBackoff *transport.Backoff
+	// ProbeBackoff schedules the quarantine probe loop; its Max is the
+	// re-admission latency ceiling once a peer heals.
+	ProbeBackoff *transport.Backoff
+}
+
+// DefaultSupervisorConfig returns the production defaults: 1 retry,
+// breaker trips after 3 consecutive failures, 2s dials, 25ms–2s retry
+// backoff, 50ms–1s probe backoff, both with 20% jitter.
+func DefaultSupervisorConfig() SupervisorConfig {
+	return SupervisorConfig{
+		MaxRetries:       1,
+		FailureThreshold: 3,
+		DialTimeout:      2 * time.Second,
+		RetryBackoff:     transport.DefaultBackoff(),
+		ProbeBackoff:     &transport.Backoff{Base: 50 * time.Millisecond, Max: time.Second, Jitter: 0.2},
+	}
+}
+
+// normalized fills unset fields with defaults.
+func (c SupervisorConfig) normalized() SupervisorConfig {
+	d := DefaultSupervisorConfig()
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = d.FailureThreshold
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.RetryBackoff == nil {
+		c.RetryBackoff = d.RetryBackoff
+	}
+	if c.ProbeBackoff == nil {
+		c.ProbeBackoff = d.ProbeBackoff
+	}
+	return c
+}
+
+// PeerHealth is one peer's supervision snapshot.
+type PeerHealth struct {
+	Addr             string
+	State            PeerState
+	ConsecutiveFails int
+	Requests         int64 // round trips attempted
+	Failures         int64 // transient failures recorded
+	Retries          int64 // in-request retry attempts
+	Redials          int64 // reconnect attempts (in-line and probe)
+	Trips            int64 // breaker open transitions
+	Probes           int64 // quarantine pings sent
+	Reconnects       int64 // probe successes re-admitting the peer
+}
+
+func (h PeerHealth) String() string {
+	return fmt.Sprintf("peer %s: state=%s fails=%d requests=%d failures=%d retries=%d redials=%d trips=%d probes=%d reconnects=%d",
+		h.Addr, h.State, h.ConsecutiveFails, h.Requests, h.Failures, h.Retries, h.Redials, h.Trips, h.Probes, h.Reconnects)
+}
+
+// Health snapshots every peer's supervision state in connection order.
+func (m *Master) Health() []PeerHealth {
+	m.mu.Lock()
+	peers := append([]*peerConn(nil), m.peers...)
+	m.mu.Unlock()
+	out := make([]PeerHealth, len(peers))
+	for i, p := range peers {
+		out[i] = p.health()
+	}
+	return out
+}
+
+// HealthReport renders Health plus the raw counter set, the block
+// teamnet-infer prints after a run.
+func (m *Master) HealthReport() string {
+	var b strings.Builder
+	for _, h := range m.Health() {
+		fmt.Fprintln(&b, h)
+	}
+	snap := m.counters.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%d\n", name, snap[name])
+	}
+	return b.String()
+}
+
+// Counters exposes the master's supervision counter set.
+func (m *Master) Counters() *metrics.CounterSet { return m.counters }
+
+// --- peer implementation -------------------------------------------------
+
+func (p *peerConn) counter(name string) *metrics.Counter {
+	return p.counters.Counter("peer." + p.addr + "." + name)
+}
+
+func (p *peerConn) config() SupervisorConfig {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	return p.cfg
+}
+
+// State returns the peer's current supervision state.
+func (p *peerConn) State() PeerState {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	return p.state
+}
+
+// available reports whether the router may send this peer a request.
+func (p *peerConn) available() bool {
+	s := p.State()
+	return s == PeerHealthy || s == PeerSuspect
+}
+
+func (p *peerConn) health() PeerHealth {
+	p.stateMu.Lock()
+	state, fails := p.state, p.fails
+	p.stateMu.Unlock()
+	return PeerHealth{
+		Addr:             p.addr,
+		State:            state,
+		ConsecutiveFails: fails,
+		Requests:         p.counter("requests").Value(),
+		Failures:         p.counter("failures").Value(),
+		Retries:          p.counter("retries").Value(),
+		Redials:          p.counter("redials").Value(),
+		Trips:            p.counter("trips").Value(),
+		Probes:           p.counter("probes").Value(),
+		Reconnects:       p.counter("reconnects").Value(),
+	}
+}
+
+// recordSuccess resets the failure streak and closes the breaker.
+func (p *peerConn) recordSuccess() {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	p.fails = 0
+	p.state = PeerHealthy
+}
+
+// recordFailure notes one transient failure, trips the breaker at the
+// threshold and launches the background probe.
+func (p *peerConn) recordFailure() {
+	p.counter("failures").Inc()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	p.fails++
+	if p.state == PeerOpen || p.state == PeerHalfOpen {
+		return
+	}
+	if p.fails >= p.cfg.FailureThreshold {
+		p.state = PeerOpen
+		p.counter("trips").Inc()
+		p.startProbeLocked()
+		return
+	}
+	p.state = PeerSuspect
+}
+
+// startProbeLocked spawns the quarantine probe loop; stateMu must be held.
+func (p *peerConn) startProbeLocked() {
+	if p.probing || p.closed {
+		return
+	}
+	p.probing = true
+	p.wg.Add(1)
+	go p.probeLoop()
+}
+
+// probeLoop redials and pings an open peer until it answers or the master
+// closes. On success the fresh connection is installed and the peer rejoins
+// rotation.
+func (p *peerConn) probeLoop() {
+	defer p.wg.Done()
+	cfg := p.config()
+	for attempt := 0; ; attempt++ {
+		if !cfg.ProbeBackoff.Sleep(attempt, p.done) {
+			p.endProbe(PeerOpen)
+			return
+		}
+		p.stateMu.Lock()
+		if p.closed {
+			p.probing = false
+			p.stateMu.Unlock()
+			return
+		}
+		p.state = PeerHalfOpen
+		p.stateMu.Unlock()
+		p.counter("probes").Inc()
+		if p.probeOnce(cfg) {
+			p.counter("reconnects").Inc()
+			p.stateMu.Lock()
+			p.probing = false
+			p.fails = 0
+			p.state = PeerHealthy
+			p.stateMu.Unlock()
+			return
+		}
+		p.stateMu.Lock()
+		if p.state == PeerHalfOpen {
+			p.state = PeerOpen
+		}
+		p.stateMu.Unlock()
+	}
+}
+
+func (p *peerConn) endProbe(s PeerState) {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	p.probing = false
+	if !p.closed {
+		p.state = s
+	}
+}
+
+// probeOnce dials a fresh connection and round-trips one ping. On success
+// the connection replaces the peer's broken one.
+func (p *peerConn) probeOnce(cfg SupervisorConfig) bool {
+	p.counter("redials").Inc()
+	conn, err := transport.Dial(p.addr, cfg.DialTimeout)
+	if err != nil {
+		return false
+	}
+	deadline := p.pingDeadline(cfg)
+	if err := pingConn(conn, deadline); err != nil {
+		conn.Close()
+		return false
+	}
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = conn
+	p.mu.Unlock()
+	return true
+}
+
+// pingDeadline bounds a liveness probe: the configured per-peer timeout if
+// set, else the dial timeout — a probe must never wedge.
+func (p *peerConn) pingDeadline(cfg SupervisorConfig) time.Duration {
+	p.mu.Lock()
+	t := p.timeout
+	p.mu.Unlock()
+	if t <= 0 {
+		t = cfg.DialTimeout
+	}
+	return t
+}
+
+// pingConn round-trips MsgPing/MsgPong on conn within d.
+func pingConn(conn net.Conn, d time.Duration) error {
+	if d > 0 {
+		if err := conn.SetDeadline(time.Now().Add(d)); err != nil {
+			return fmt.Errorf("set deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	if err := transport.WriteFrame(conn, MsgPing, nil); err != nil {
+		return err
+	}
+	typ, _, err := transport.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != MsgPong {
+		return fmt.Errorf("ping got frame type %d", typ)
+	}
+	return nil
+}
+
+// ensureConnLocked redials the peer if its connection is down; p.mu held.
+func (p *peerConn) ensureConnLocked(cfg SupervisorConfig) error {
+	if p.conn != nil {
+		return nil
+	}
+	p.counter("redials").Inc()
+	conn, err := transport.Dial(p.addr, cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	p.conn = conn
+	return nil
+}
+
+// dropConnLocked discards a connection after an I/O error; p.mu held.
+func (p *peerConn) dropConnLocked() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// errPeerQuarantined marks fast-fail on an open breaker.
+type errPeerQuarantined struct {
+	addr  string
+	state PeerState
+}
+
+func (e errPeerQuarantined) Error() string {
+	return fmt.Sprintf("cluster: peer %s quarantined (circuit %s)", e.addr, e.state)
+}
+
+// do performs one supervised predict round trip: bounded retries over
+// transient I/O errors with backoff, redialing broken connections, feeding
+// the breaker on every outcome. Worker-reported errors (MsgError) come from
+// a live peer and are returned immediately without punishing it.
+func (p *peerConn) do(payload []byte) (PredictResult, error) {
+	cfg := p.config()
+	if !p.available() {
+		return PredictResult{}, errPeerQuarantined{addr: p.addr, state: p.State()}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			p.counter("retries").Inc()
+			if !cfg.RetryBackoff.Sleep(attempt-1, p.done) {
+				break // master closing
+			}
+			if !p.available() {
+				break // breaker tripped while we backed off
+			}
+		}
+		res, err, peerFault := p.tryOnce(cfg, payload)
+		if err == nil {
+			p.recordSuccess()
+			return res, nil
+		}
+		lastErr = err
+		if !peerFault {
+			// The worker answered; the request itself is bad. No retry,
+			// no breaker accounting.
+			return PredictResult{}, err
+		}
+		p.recordFailure()
+	}
+	return PredictResult{}, fmt.Errorf("cluster: peer %s: %w", p.addr, lastErr)
+}
+
+// tryOnce performs one wire round trip. peerFault reports whether the error
+// indicts the peer/link (retryable) as opposed to the request (not).
+func (p *peerConn) tryOnce(cfg SupervisorConfig, payload []byte) (res PredictResult, err error, peerFault bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ensureConnLocked(cfg); err != nil {
+		return PredictResult{}, err, true
+	}
+	p.counter("requests").Inc()
+	if p.timeout > 0 {
+		if err := p.conn.SetDeadline(time.Now().Add(p.timeout)); err != nil {
+			p.dropConnLocked()
+			return PredictResult{}, fmt.Errorf("set deadline: %w", err), true
+		}
+		defer func() {
+			if p.conn != nil {
+				p.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+			}
+		}()
+	}
+	if err := transport.WriteFrame(p.conn, MsgPredict, payload); err != nil {
+		p.dropConnLocked()
+		return PredictResult{}, err, true
+	}
+	typ, resp, err := transport.ReadFrame(p.conn)
+	if err != nil {
+		p.dropConnLocked()
+		return PredictResult{}, err, true
+	}
+	switch typ {
+	case MsgResult:
+		r, derr := DecodeResult(resp)
+		if derr != nil {
+			// Undecodable result: corrupted link, not a bad request.
+			p.dropConnLocked()
+			return PredictResult{}, derr, true
+		}
+		return r, nil, false
+	case MsgError:
+		return PredictResult{}, fmt.Errorf("worker error: %s", resp), false
+	default:
+		p.dropConnLocked()
+		return PredictResult{}, fmt.Errorf("unexpected frame type %d", typ), true
+	}
+}
+
+// ping round-trips one liveness probe on the peer's live connection,
+// redialing first if it is down. Errors feed the breaker like any other
+// transient failure.
+func (p *peerConn) ping() error {
+	cfg := p.config()
+	p.mu.Lock()
+	err := p.ensureConnLocked(cfg)
+	if err == nil {
+		err = pingConn(p.conn, p.pingDeadlineLocked(cfg))
+		if err != nil {
+			p.dropConnLocked()
+		}
+	}
+	p.mu.Unlock()
+	if err != nil {
+		p.recordFailure()
+		return fmt.Errorf("cluster: ping %s: %w", p.addr, err)
+	}
+	p.recordSuccess()
+	return nil
+}
+
+// pingDeadlineLocked is pingDeadline for callers already holding p.mu.
+func (p *peerConn) pingDeadlineLocked(cfg SupervisorConfig) time.Duration {
+	t := p.timeout
+	if t <= 0 {
+		t = cfg.DialTimeout
+	}
+	return t
+}
+
+// markClosed stops supervision; the probe loop exits via the done channel.
+func (p *peerConn) markClosed() {
+	p.stateMu.Lock()
+	p.closed = true
+	p.stateMu.Unlock()
+}

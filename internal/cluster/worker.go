@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"github.com/teamnet/teamnet/internal/metrics"
 	"github.com/teamnet/teamnet/internal/nn"
 	"github.com/teamnet/teamnet/internal/tensor"
 	"github.com/teamnet/teamnet/internal/transport"
@@ -15,13 +16,14 @@ import (
 // probabilities and predictive entropies, and responds to pings and
 // election traffic.
 type Worker struct {
-	pool   chan *nn.Network // expert replicas; nn.Network is single-goroutine
-	id     int              // election identity; higher wins
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-	closed bool
+	pool     chan *nn.Network // expert replicas; nn.Network is single-goroutine
+	id       int              // election identity; higher wins
+	counters *metrics.CounterSet
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
 }
 
 // NewWorker wraps an expert network for serving. id is the node's election
@@ -44,8 +46,12 @@ func NewWorkerPool(replicas []*nn.Network, id int) *Worker {
 	for _, e := range replicas {
 		pool <- e
 	}
-	return &Worker{pool: pool, id: id, conns: make(map[net.Conn]struct{})}
+	return &Worker{pool: pool, id: id, conns: make(map[net.Conn]struct{}), counters: metrics.NewCounterSet()}
 }
+
+// Counters exposes the worker's serving counters ("requests",
+// "panics.recovered", ...).
+func (w *Worker) Counters() *metrics.CounterSet { return w.counters }
 
 // Listen binds to addr (use "127.0.0.1:0" for tests) and serves in the
 // background. It returns the bound address.
@@ -99,12 +105,22 @@ func (w *Worker) serveConn(conn net.Conn) {
 		}
 		switch typ {
 		case MsgPredict:
+			w.counters.Counter("requests").Inc()
 			x, _, err := transport.DecodeTensor(payload)
 			if err != nil {
 				_ = transport.WriteFrame(conn, MsgError, []byte(err.Error()))
 				return
 			}
-			res := w.predict(x)
+			res, perr := w.predict(x)
+			if perr != nil {
+				// A malformed tensor that panics inside the NN must cost
+				// one MsgError, never the serving goroutine: answer and
+				// keep the connection alive for the next request.
+				if err := transport.WriteFrame(conn, MsgError, []byte(perr.Error())); err != nil {
+					return
+				}
+				continue
+			}
 			if err := transport.WriteFrame(conn, MsgResult, EncodeResult(res)); err != nil {
 				return
 			}
@@ -126,12 +142,20 @@ func (w *Worker) serveConn(conn net.Conn) {
 }
 
 // predict runs one pooled expert replica on x (step 3 of Fig 1d) and pairs
-// every row with its predictive entropy.
-func (w *Worker) predict(x *tensor.Tensor) PredictResult {
+// every row with its predictive entropy. A panic inside the network (shape
+// mismatch from a hostile or corrupted tensor) is recovered into an error
+// so the node keeps serving.
+func (w *Worker) predict(x *tensor.Tensor) (res PredictResult, err error) {
 	expert := <-w.pool
 	defer func() { w.pool <- expert }()
+	defer func() {
+		if r := recover(); r != nil {
+			w.counters.Counter("panics.recovered").Inc()
+			err = fmt.Errorf("cluster: predict panic: %v", r)
+		}
+	}()
 	probs, ent := expert.PredictWithEntropy(x)
-	return PredictResult{Probs: probs, Entropy: ent.Data}
+	return PredictResult{Probs: probs, Entropy: ent.Data}, nil
 }
 
 // ID returns the worker's election identity.

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic event counter safe for concurrent use. The cluster
+// supervisor bumps these on every retry, redial, breaker trip and probe so
+// operators can see *why* a degraded inference run behaved the way it did.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative for gauges-in-a-pinch, but the runtime only
+// counts up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterSet is a named collection of counters, created on first use —
+// the runtime's tiny stand-in for a metrics registry. Safe for concurrent
+// use; reads during writes see a consistent per-counter snapshot.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it at zero on
+// first use.
+func (s *CounterSet) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[name]
+	if !ok {
+		c = &Counter{}
+		s.m[name] = c
+	}
+	return c
+}
+
+// Snapshot copies every counter's current value.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for name, c := range s.m {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// String renders "name=value" pairs sorted by name, one per line — the
+// format teamnet-infer prints after a run.
+func (s *CounterSet) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%d\n", name, snap[name])
+	}
+	return b.String()
+}

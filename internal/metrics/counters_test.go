@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentInc(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestCounterSetCreatesOnFirstUse(t *testing.T) {
+	s := NewCounterSet()
+	s.Counter("a").Add(3)
+	s.Counter("a").Inc()
+	s.Counter("b").Inc()
+	snap := s.Snapshot()
+	if snap["a"] != 4 || snap["b"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Same name must return the same counter.
+	if s.Counter("a") != s.Counter("a") {
+		t.Fatal("Counter(name) not stable")
+	}
+}
+
+func TestCounterSetStringSorted(t *testing.T) {
+	s := NewCounterSet()
+	s.Counter("zeta").Inc()
+	s.Counter("alpha").Add(2)
+	got := s.String()
+	if got != "alpha=2\nzeta=1\n" {
+		t.Fatalf("String() = %q", got)
+	}
+	if strings.Index(got, "alpha") > strings.Index(got, "zeta") {
+		t.Fatal("names not sorted")
+	}
+}
+
+func TestCounterSetConcurrentAccess(t *testing.T) {
+	s := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Counter("shared").Inc()
+				_ = s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("shared").Value(); got != 2000 {
+		t.Fatalf("shared = %d, want 2000", got)
+	}
+}

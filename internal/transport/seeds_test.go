@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// The fuzz targets in fuzz_test.go only execute their seed corpora when the
+// fuzz engine runs them (plain `go test` with no -run filter, or -fuzz).
+// These table tests wire the same seeds into the ordinary test set so
+// `go test -short -run Test` — the verify target's fast path — still
+// exercises every decoder on every historical crash seed.
+
+func decodeTensorSeeds() [][]byte {
+	return [][]byte{
+		{},
+		{0},
+		{1, 0, 0, 0, 4},
+		{2, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		EncodeTensor(tensor.NewRNG(1).Randn(2, 3)),
+	}
+}
+
+func decodeFloatsSeeds() [][]byte {
+	return [][]byte{
+		{},
+		{0, 0, 0, 0},
+		{0xFF, 0xFF, 0xFF, 0xFF},
+		EncodeFloats([]float64{1.5, -2.5}),
+	}
+}
+
+func readFrameSeeds() [][]byte {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, 3, []byte("payload"))
+	return [][]byte{
+		buf.Bytes(),
+		{},
+		{0, 0, 0, 1, 9},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0},
+	}
+}
+
+func rpcEnvelopeSeeds() [][]byte {
+	return [][]byte{
+		encodeRPCRequest(1, "predict", []byte("body")),
+		{},
+		{0, 0, 0, 0, 0, 0, 0, 1, 0, 200},
+	}
+}
+
+func TestDecodeTensorSeedCorpus(t *testing.T) {
+	for i, data := range decodeTensorSeeds() {
+		got, used, err := DecodeTensor(data)
+		if err != nil {
+			continue
+		}
+		if used > len(data) {
+			t.Fatalf("seed %d: consumed %d of %d bytes", i, used, len(data))
+		}
+		if !bytes.Equal(EncodeTensor(got), data[:used]) {
+			t.Fatalf("seed %d: decode/encode not a retraction", i)
+		}
+	}
+}
+
+func TestDecodeFloatsSeedCorpus(t *testing.T) {
+	for i, data := range decodeFloatsSeeds() {
+		vs, used, err := DecodeFloats(data)
+		if err != nil {
+			continue
+		}
+		if used > len(data) {
+			t.Fatalf("seed %d: consumed %d of %d bytes", i, used, len(data))
+		}
+		if !bytes.Equal(EncodeFloats(vs), data[:used]) {
+			t.Fatalf("seed %d: floats decode/encode not a retraction", i)
+		}
+	}
+}
+
+func TestReadFrameSeedCorpus(t *testing.T) {
+	for i, data := range readFrameSeeds() {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		var out bytes.Buffer
+		if werr := WriteFrame(&out, typ, payload); werr != nil {
+			t.Fatalf("seed %d: re-encode of accepted frame failed: %v", i, werr)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("seed %d: frame decode/encode not a retraction", i)
+		}
+	}
+}
+
+func TestRPCEnvelopeSeedCorpus(t *testing.T) {
+	for i, data := range rpcEnvelopeSeeds() {
+		id, method, body, err := decodeRPCEnvelope(data)
+		if err != nil {
+			continue
+		}
+		if !bytes.Equal(encodeRPCRequest(id, method, body), data) {
+			t.Fatalf("seed %d: rpc envelope decode/encode not a retraction", i)
+		}
+	}
+}
