@@ -1,11 +1,11 @@
 # Build, test and verification entry points. `make verify` is the
-# robustness gate: vet plus the failure-path packages (cluster runtime,
-# transport, chaos proxy) under the race detector — the chaos-driven
-# recovery tests only count if they pass with -race.
+# robustness gate: formatting, vet, docs, plus the failure-path packages
+# (cluster runtime, transport, chaos proxy, trace) under the race detector —
+# the chaos-driven recovery tests only count if they pass with -race.
 
 GO ?= go
 
-.PHONY: build test verify bench clean
+.PHONY: build test verify fmt-check docs bench clean
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,22 @@ build:
 test:
 	$(GO) test ./...
 
+# gofmt -l prints offending files; any output fails the gate.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# docs fails if any internal package lacks package-level godoc.
+docs:
+	$(GO) run ./cmd/teamnet-doccheck ./internal
+
 # The short run keeps the full-suite half fast while still executing the
 # transport fuzz seed corpora (wired into Test* functions) and every unit
 # test; the race half hammers the self-healing runtime.
-verify:
+verify: fmt-check docs
 	$(GO) vet ./...
 	$(GO) test -short ./...
-	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/...
+	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/... ./internal/trace/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,93 @@
+// Command teamnet-doccheck enforces the repo's documentation floor: every
+// internal package must carry package-level godoc. It parses each package
+// with go/parser (comments only, no type checking) and fails the build —
+// exit status 1, one line per offender — when a package has no package
+// comment, so `make docs` can gate CI on the docs keeping up with the code.
+//
+//	teamnet-doccheck ./internal
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "./internal"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	missing, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teamnet-doccheck:", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		for _, pkg := range missing {
+			fmt.Fprintf(os.Stderr, "missing package documentation: %s\n", pkg)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: all packages documented")
+}
+
+// check walks root for directories containing non-test Go files and returns
+// the directories whose package lacks a package comment.
+func check(root string) ([]string, error) {
+	dirs := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for dir := range dirs {
+		ok, err := hasPackageDoc(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// hasPackageDoc reports whether any non-test file in dir carries a package
+// comment (godoc convention: a comment immediately preceding the package
+// clause in at least one file).
+func hasPackageDoc(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, fmt.Errorf("parse %s: %w", filepath.Join(dir, name), err)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, nil
+		}
+	}
+	return false, nil
+}

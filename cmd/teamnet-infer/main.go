@@ -11,6 +11,10 @@
 // It can also run the bully leader election against the peer set:
 //
 //	teamnet-infer -elect -id 9 -peers 127.0.0.1:7001,127.0.0.1:7002
+//
+// -trace prints a span tree per query — the paper's compute vs. transfer
+// split, observed live — and -admin serves /healthz, /metrics, /traces,
+// and pprof over HTTP while the run lasts (docs/OPERATIONS.md).
 package main
 
 import (
@@ -19,12 +23,14 @@ import (
 	"os"
 	"time"
 
+	"github.com/teamnet/teamnet/internal/admin"
 	"github.com/teamnet/teamnet/internal/cli"
 	"github.com/teamnet/teamnet/internal/cluster"
 	"github.com/teamnet/teamnet/internal/core"
 	"github.com/teamnet/teamnet/internal/metrics"
 	"github.com/teamnet/teamnet/internal/nn"
 	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
 )
 
 func main() {
@@ -50,6 +56,8 @@ func run() error {
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-peer round-trip deadline (0 = none)")
 		retries    = flag.Int("retries", 1, "per-request retry budget for transient peer errors")
 		health     = flag.Bool("health", true, "print the per-peer supervision report after the run")
+		traceOn    = flag.Bool("trace", false, "record per-query spans and print each query's span tree")
+		adminAddr  = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
 
@@ -84,6 +92,33 @@ func run() error {
 	defer master.Close()
 	master.SetTimeout(*timeout)
 	master.SetSupervisor(cluster.SupervisorConfig{MaxRetries: *retries})
+	if *traceOn || *adminAddr != "" {
+		master.SetTracer(trace.New("master", 0))
+	}
+	if *adminAddr != "" {
+		adm := admin.New()
+		adm.HealthFunc(func() (bool, any) {
+			healths := master.Health()
+			ok := true
+			for _, h := range healths {
+				// Suspect peers are still routed; only quarantined
+				// (circuit-open) peers degrade the endpoint.
+				if h.State == cluster.PeerOpen || h.State == cluster.PeerHalfOpen {
+					ok = false
+				}
+			}
+			return ok, healths
+		})
+		adm.AddCounters(master.Counters())
+		adm.AddHistograms(master.Histograms())
+		adm.TracerFunc(master.Tracer)
+		bound, err := adm.Listen(*adminAddr)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /debug/pprof/)\n", bound)
+	}
 	for _, addr := range peerAddrs {
 		if err := master.Connect(addr); err != nil {
 			return err
@@ -129,6 +164,13 @@ func run() error {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
 		lat.Observe(time.Since(start))
+		if *traceOn {
+			if tr := master.Tracer(); tr != nil {
+				if ids := tr.TraceIDs(1); len(ids) == 1 {
+					fmt.Printf("query %d trace %016x:\n%s", i, ids[0], tr.Tree(ids[0]))
+				}
+			}
+		}
 		copy(allProbs.RowSlice(i), probs.RowSlice(0))
 		winnerCount[winners[0]]++
 	}

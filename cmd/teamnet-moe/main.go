@@ -16,11 +16,13 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/teamnet/teamnet/internal/admin"
 	"github.com/teamnet/teamnet/internal/cli"
 	"github.com/teamnet/teamnet/internal/cluster"
 	"github.com/teamnet/teamnet/internal/metrics"
 	"github.com/teamnet/teamnet/internal/moe"
 	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:7101", "listen address (node mode)")
 		peers     = flag.String("peers", "", "expert node addresses in expert order (infer mode)")
 		queries   = flag.Int("queries", 100, "inference count (infer mode)")
+		traceOn   = flag.Bool("trace", false, "record per-query spans and print each query's span tree (infer mode; requires trace-aware expert nodes)")
+		adminAddr = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address")
 	)
 	flag.Parse()
 
@@ -54,9 +58,9 @@ func run() error {
 	case "train":
 		return trainMode(*dsName, *n, *size, *k, *topK, *epochs, *batch, *lr, *seed, *modelPath)
 	case "node":
-		return nodeMode(*modelPath, *expert, *listen)
+		return nodeMode(*modelPath, *expert, *listen, *adminAddr)
 	case "infer":
-		return inferMode(*modelPath, *dsName, *queries, *size, *seed, cli.SplitList(*peers))
+		return inferMode(*modelPath, *dsName, *queries, *size, *seed, cli.SplitList(*peers), *traceOn, *adminAddr)
 	default:
 		return fmt.Errorf("unknown mode %q (train, node or infer)", *mode)
 	}
@@ -102,7 +106,7 @@ func loadModel(path string) (*moe.SGMoE, error) {
 	return moe.Load(f)
 }
 
-func nodeMode(path string, expert int, listen string) error {
+func nodeMode(path string, expert int, listen, adminAddr string) error {
 	model, err := loadModel(path)
 	if err != nil {
 		return err
@@ -115,6 +119,27 @@ func nodeMode(path string, expert int, listen string) error {
 		return err
 	}
 	fmt.Printf("serving SG-MoE expert %d/%d on %s (RPC)\n", expert, model.K(), addr)
+	if adminAddr != "" {
+		srv.SetTracer(trace.New(addr, 0))
+		adm := admin.New()
+		adm.HealthFunc(func() (bool, any) {
+			return true, map[string]any{
+				"role":     "moe-expert",
+				"addr":     addr,
+				"requests": srv.Counters().Counter("requests").Value(),
+			}
+		})
+		adm.AddCounters(srv.Counters())
+		adm.AddHistograms(srv.Histograms())
+		adm.TracerFunc(srv.Tracer)
+		bound, err := adm.Listen(adminAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /debug/pprof/)\n", bound)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -122,7 +147,7 @@ func nodeMode(path string, expert int, listen string) error {
 	return srv.Close()
 }
 
-func inferMode(path, dsName string, queries, size int, seed int64, peers []string) error {
+func inferMode(path, dsName string, queries, size int, seed int64, peers []string, traceOn bool, adminAddr string) error {
 	model, err := loadModel(path)
 	if err != nil {
 		return err
@@ -132,6 +157,23 @@ func inferMode(path, dsName string, queries, size int, seed int64, peers []strin
 		return err
 	}
 	defer master.Close()
+	if traceOn || adminAddr != "" {
+		master.SetTracer(trace.New("moe-master", 0))
+	}
+	if adminAddr != "" {
+		adm := admin.New()
+		adm.HealthFunc(func() (bool, any) {
+			return true, map[string]any{"role": "moe-master", "peers": len(peers)}
+		})
+		adm.AddHistograms(master.Histograms())
+		adm.TracerFunc(master.Tracer)
+		bound, err := adm.Listen(adminAddr)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /debug/pprof/)\n", bound)
+	}
 	ds, err := cli.BuildDataset(dsName, queries, size, seed+7)
 	if err != nil {
 		return err
@@ -146,6 +188,13 @@ func inferMode(path, dsName string, queries, size int, seed int64, peers []strin
 			return fmt.Errorf("query %d: %w", i, err)
 		}
 		lat.Observe(time.Since(start))
+		if traceOn {
+			if tr := master.Tracer(); tr != nil {
+				if ids := tr.TraceIDs(1); len(ids) == 1 {
+					fmt.Printf("query %d trace %016x:\n%s", i, ids[0], tr.Tree(ids[0]))
+				}
+			}
+		}
 		if probs.Row(0).ArgMax() == ds.Y[i] {
 			correct++
 		}

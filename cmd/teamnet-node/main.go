@@ -11,6 +11,11 @@
 //
 //	teamnet-node -team team.tnet -expert 1 -listen :7001 -chaos reset:0.3
 //	teamnet-node -listen :7001 -chaos "latency:50ms,stall:0.1"
+//
+// -admin exposes the observability endpoint (docs/OPERATIONS.md):
+//
+//	teamnet-node -team team.tnet -expert 1 -listen :7001 -admin :8081
+//	curl -s localhost:8081/metrics
 package main
 
 import (
@@ -20,9 +25,11 @@ import (
 	"os/signal"
 	"syscall"
 
+	"github.com/teamnet/teamnet/internal/admin"
 	"github.com/teamnet/teamnet/internal/chaos"
 	"github.com/teamnet/teamnet/internal/cluster"
 	"github.com/teamnet/teamnet/internal/core"
+	"github.com/teamnet/teamnet/internal/trace"
 )
 
 func main() {
@@ -41,6 +48,7 @@ func run() error {
 		replicas  = flag.Int("replicas", 1, "expert replicas for concurrent serving")
 		chaosSpec = flag.String("chaos", "", "serve through a fault-injection proxy: comma-separated mode:arg specs (latency:50ms, stall:0.3, reset:0.3, truncate:0.1, corrupt:0.05, dropnth:3)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos fault die")
+		adminAddr = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address, e.g. :8081")
 	)
 	flag.Parse()
 	if *replicas < 1 {
@@ -95,6 +103,34 @@ func run() error {
 	}
 	fmt.Printf("serving expert %d/%d (%s, %d replica(s)) on %s, election id %d\n",
 		*expert, team.K(), team.Spec.Label(), *replicas, addr, *id)
+
+	var adm *admin.Server
+	if *adminAddr != "" {
+		// With the endpoint up, keep a span ring so /traces shows the
+		// worker-side "worker.predict" spans of traced queries.
+		worker.SetTracer(trace.New(addr, 0))
+		adm = admin.New()
+		adm.HealthFunc(func() (bool, any) {
+			return true, map[string]any{
+				"role":     "worker",
+				"addr":     addr,
+				"requests": worker.Counters().Counter("requests").Value(),
+			}
+		})
+		adm.AddCounters(worker.Counters())
+		if proxy != nil {
+			adm.AddCounters(proxy.Counters())
+		}
+		adm.AddHistograms(worker.Histograms())
+		adm.TracerFunc(worker.Tracer)
+		bound, err := adm.Listen(*adminAddr)
+		if err != nil {
+			worker.Close()
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /debug/pprof/)\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,199 @@
+// Package admin is the optional HTTP observability endpoint the serving
+// CLIs expose with -admin: a stdlib-only server publishing the runtime's
+// health, metrics, and traces for operators and scrapers.
+//
+// Routes:
+//
+//	/healthz       supervision state as JSON; 200 when healthy, 503 when
+//	               any peer is quarantined (load balancers key off this)
+//	/metrics       Prometheus text exposition 0.0.4: every registered
+//	               counter set and latency histogram
+//	/traces        recent traces as JSON span trees; ?n=K bounds the
+//	               number of traces, ?id=<hex> selects one
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// The server holds references, not copies: counters, histograms, and the
+// tracer are read live on every request, so a scrape always sees current
+// values. All sources are optional — an empty server still serves /healthz
+// (always ok) and an empty /metrics page, so the CLIs can wire whatever
+// the role has.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/metrics"
+	"github.com/teamnet/teamnet/internal/trace"
+)
+
+// Server is one admin endpoint. Configure its sources, then Listen.
+// Methods are safe for concurrent use; sources may be added while serving.
+type Server struct {
+	mu       sync.Mutex
+	healthFn func() (ok bool, detail any)
+	counters []*metrics.CounterSet
+	hists    []*metrics.HistogramSet
+	tracerFn func() *trace.Tracer
+	srv      *http.Server
+	ln       net.Listener
+}
+
+// New returns an unstarted admin server with no sources.
+func New() *Server { return &Server{} }
+
+// HealthFunc installs the /healthz source: ok decides the status code
+// (200 vs 503) and detail is rendered as the response's "detail" field.
+func (s *Server) HealthFunc(fn func() (ok bool, detail any)) {
+	s.mu.Lock()
+	s.healthFn = fn
+	s.mu.Unlock()
+}
+
+// AddCounters registers counter sets for /metrics.
+func (s *Server) AddCounters(cs ...*metrics.CounterSet) {
+	s.mu.Lock()
+	s.counters = append(s.counters, cs...)
+	s.mu.Unlock()
+}
+
+// AddHistograms registers histogram sets for /metrics.
+func (s *Server) AddHistograms(hs ...*metrics.HistogramSet) {
+	s.mu.Lock()
+	s.hists = append(s.hists, hs...)
+	s.mu.Unlock()
+}
+
+// TracerFunc installs the /traces source. It is a func, not a value, so
+// roles that install tracers late (or swap them) stay current.
+func (s *Server) TracerFunc(fn func() *trace.Tracer) {
+	s.mu.Lock()
+	s.tracerFn = fn
+	s.mu.Unlock()
+}
+
+// Listen binds addr (use "127.0.0.1:0" in tests) and serves in the
+// background, returning the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("admin: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.srv = srv
+	s.ln = ln
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.healthFn
+	s.mu.Unlock()
+	ok, detail := true, any(nil)
+	if fn != nil {
+		ok, detail = fn()
+	}
+	status := "ok"
+	code := http.StatusOK
+	if !ok {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"status": status, "detail": detail})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counters := append([]*metrics.CounterSet(nil), s.counters...)
+	hists := append([]*metrics.HistogramSet(nil), s.hists...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WritePrometheus(w, counters, hists)
+}
+
+// tracesEntry is one trace in the /traces response.
+type tracesEntry struct {
+	TraceID string       `json:"trace_id"`
+	Spans   []trace.Span `json:"spans"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.tracerFn
+	s.mu.Unlock()
+	var tr *trace.Tracer
+	if fn != nil {
+		tr = fn()
+	}
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	var ids []uint64
+	if q := r.URL.Query().Get("id"); q != "" {
+		id, err := strconv.ParseUint(q, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace id: "+q, http.StatusBadRequest)
+			return
+		}
+		ids = []uint64{id}
+	} else {
+		ids = tr.TraceIDs(n)
+	}
+	out := make([]tracesEntry, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, tracesEntry{
+			TraceID: fmt.Sprintf("%016x", id),
+			Spans:   tr.Trace(id),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

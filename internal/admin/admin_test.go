@@ -1,0 +1,152 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/metrics"
+	"github.com/teamnet/teamnet/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	counters.Counter("requests").Add(7)
+	hists := metrics.NewHistogramSet()
+	hists.Observe("rtt", 3*time.Millisecond)
+	tr := trace.New("test", 16)
+	root := tr.Record(trace.Context{}, "infer", "", "", time.Now(), time.Millisecond)
+	tr.Record(root, "network", "", "", time.Now(), 500*time.Microsecond)
+
+	s := New()
+	s.HealthFunc(func() (bool, any) { return true, map[string]int{"peers": 2} })
+	s.AddCounters(counters)
+	s.AddHistograms(hists)
+	s.TracerFunc(func() *trace.Tracer { return tr })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + addr
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz code %d: %s", code, body)
+	}
+	var health struct {
+		Status string         `json:"status"`
+		Detail map[string]int `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if health.Status != "ok" || health.Detail["peers"] != 2 {
+		t.Fatalf("/healthz = %+v", health)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics code %d", code)
+	}
+	for _, want := range []string{"teamnet_requests_total 7", "teamnet_rtt_seconds_count 1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces code %d", code)
+	}
+	var traces []struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/traces not JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || len(traces[0].Spans) != 2 {
+		t.Fatalf("/traces = %+v", traces)
+	}
+	if traces[0].Spans[0].Name != "infer" {
+		t.Fatalf("first span %q", traces[0].Spans[0].Name)
+	}
+
+	// Select by id, and reject a malformed one.
+	code, _ = get(t, base+"/traces?id="+traces[0].TraceID)
+	if code != http.StatusOK {
+		t.Fatalf("/traces?id code %d", code)
+	}
+	code, _ = get(t, base+"/traces?id=zzz")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad trace id accepted: code %d", code)
+	}
+
+	// pprof is mounted.
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline code %d", code)
+	}
+}
+
+func TestAdminHealthDegraded(t *testing.T) {
+	s := New()
+	s.HealthFunc(func() (bool, any) { return false, "peer quarantined" })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, fmt.Sprintf("http://%s/healthz", addr))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz code %d", code)
+	}
+	if !strings.Contains(body, "degraded") {
+		t.Fatalf("degraded /healthz body %s", body)
+	}
+}
+
+func TestAdminEmptySources(t *testing.T) {
+	s := New()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + addr
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("empty /healthz code %d", code)
+	}
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Fatalf("empty /metrics code %d", code)
+	}
+	code, body := get(t, base+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("empty /traces code %d", code)
+	}
+	var traces []any
+	if err := json.Unmarshal([]byte(body), &traces); err != nil || len(traces) != 0 {
+		t.Fatalf("empty /traces = %q (err %v)", body, err)
+	}
+}

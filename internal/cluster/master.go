@@ -10,8 +10,33 @@ import (
 	"github.com/teamnet/teamnet/internal/metrics"
 	"github.com/teamnet/teamnet/internal/nn"
 	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
 	"github.com/teamnet/teamnet/internal/transport"
 )
+
+// tracerRef shares one swappable tracer between a master and its peers, so
+// SetTracer takes effect on connections made before and after the call. A
+// nil tracer (the default) disables span collection; histograms and
+// counters are always recorded.
+type tracerRef struct {
+	mu sync.Mutex
+	tr *trace.Tracer
+}
+
+func (r *tracerRef) get() *trace.Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tr
+}
+
+func (r *tracerRef) set(tr *trace.Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tr = tr
+}
 
 // Master is the sensing node of Figure 1(d): it holds its own local expert,
 // broadcasts each input to all worker peers (step 2), runs its expert in
@@ -27,6 +52,8 @@ type Master struct {
 	localMu  sync.Mutex  // nn.Network is single-goroutine; Infer may not be
 	classes  int
 	counters *metrics.CounterSet
+	hists    *metrics.HistogramSet
+	tracer   *tracerRef
 
 	mu      sync.Mutex
 	timeout time.Duration // per-round-trip deadline; 0 = none
@@ -41,6 +68,8 @@ type Master struct {
 type peerConn struct {
 	addr     string
 	counters *metrics.CounterSet
+	hists    *metrics.HistogramSet
+	trc      *tracerRef
 	done     <-chan struct{}
 	wg       *sync.WaitGroup
 
@@ -63,10 +92,28 @@ func NewMaster(local *nn.Network, classes int) *Master {
 		local:    local,
 		classes:  classes,
 		counters: metrics.NewCounterSet(),
+		hists:    metrics.NewHistogramSet(),
+		tracer:   &tracerRef{},
 		sup:      DefaultSupervisorConfig(),
 		done:     make(chan struct{}),
 	}
 }
+
+// SetTracer installs (or, with nil, removes) the span collector for every
+// subsequent inference: each query then records a span tree decomposing its
+// latency into serialize, per-peer network, remote compute and gating.
+// Histograms and counters are recorded regardless. Affects peers connected
+// before and after the call.
+func (m *Master) SetTracer(tr *trace.Tracer) { m.tracer.set(tr) }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (m *Master) Tracer() *trace.Tracer { return m.tracer.get() }
+
+// Histograms exposes the master's latency histograms: "infer.total",
+// "infer.serialize", "infer.gate", "local.compute" and the per-peer
+// "peer.<addr>.rtt" / "peer.<addr>.compute" / "peer.<addr>.ping" /
+// "peer.<addr>.probe" series.
+func (m *Master) Histograms() *metrics.HistogramSet { return m.hists }
 
 // SetTimeout bounds every subsequent per-peer round trip. A worker that
 // exceeds the deadline fails that inference instead of wedging the master —
@@ -119,6 +166,8 @@ func (m *Master) Connect(addr string) error {
 	p := &peerConn{
 		addr:     addr,
 		counters: m.counters,
+		hists:    m.hists,
+		trc:      m.tracer,
 		done:     m.done,
 		wg:       &m.probeWG,
 		conn:     conn,
@@ -162,6 +211,16 @@ func (m *Master) snapshotPeers() []*peerConn {
 // budget (or sits behind an open breaker) still fails the strict protocol —
 // use InferBestEffort to route around it instead.
 func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
+	tr := m.tracer.get()
+	root := tr.Start(trace.Context{}, "infer")
+	start := time.Now()
+	probs, winners, err := m.infer(x, tr, root.Ctx())
+	root.EndErr(err)
+	m.hists.Observe("infer.total", time.Since(start))
+	return probs, winners, err
+}
+
+func (m *Master) infer(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (*tensor.Tensor, []int, error) {
 	peers := m.snapshotPeers()
 
 	batch := x.Shape[0]
@@ -178,7 +237,7 @@ func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
 	results := make([]PredictResult, nodes)
 	errs := make([]error, nodes)
 	var wg sync.WaitGroup
-	payload := transport.EncodeTensor(x)
+	payload := m.encodeInput(x, tr, root)
 
 	// Steps 2-4: broadcast and gather concurrently; the local expert runs
 	// in parallel with the network round trips.
@@ -190,13 +249,12 @@ func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
 		wg.Add(1)
 		go func(p *peerConn, slot int) {
 			defer wg.Done()
-			res, err := p.do(payload)
+			res, err := p.do(payload, root)
 			results[slot], errs[slot] = res, err
 		}(p, slot)
 	}
 	if localIdx == 0 {
-		probs, ent := m.localPredict(x)
-		results[0] = PredictResult{Probs: probs, Entropy: ent.Data}
+		results[0] = m.localResult(x, tr, root)
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -206,6 +264,7 @@ func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
 	}
 
 	// Step 5: per-sample arg-min over entropies.
+	gateStart := time.Now()
 	combined := tensor.New(batch, m.classes)
 	winners := make([]int, batch)
 	for b := 0; b < batch; b++ {
@@ -218,7 +277,38 @@ func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
 		winners[b] = bi
 		copy(combined.RowSlice(b), results[bi].Probs.RowSlice(b))
 	}
+	m.recordGate(tr, root, gateStart)
 	return combined, winners, nil
+}
+
+// encodeInput serializes the broadcast payload under a "serialize" span and
+// appends the trace trailer when tracing is on. The same payload is shared
+// by every peer round trip, so the trailer parents worker-side spans to the
+// query's root span.
+func (m *Master) encodeInput(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) []byte {
+	start := time.Now()
+	payload := transport.EncodeTensor(x)
+	d := time.Since(start)
+	m.hists.Observe("infer.serialize", d)
+	tr.Record(root, "serialize", "", "", start, d)
+	return appendTraceContext(payload, root)
+}
+
+// localResult runs the local expert under a "local.compute" span.
+func (m *Master) localResult(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) PredictResult {
+	start := time.Now()
+	probs, ent := m.localPredict(x)
+	d := time.Since(start)
+	m.hists.Observe("local.compute", d)
+	tr.Record(root, "local.compute", "", "", start, d)
+	return PredictResult{Probs: probs, Entropy: ent.Data}
+}
+
+// recordGate closes out the arg-min-entropy selection stage.
+func (m *Master) recordGate(tr *trace.Tracer, root trace.Context, start time.Time) {
+	d := time.Since(start)
+	m.hists.Observe("infer.gate", d)
+	tr.Record(root, "gate", "", "", start, d)
 }
 
 // InferBestEffort is the degraded-mode variant of Infer for lossy edge
@@ -229,6 +319,16 @@ func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
 // produced a result. The returned live count reports how many nodes
 // participated.
 func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winners []int, live int, err error) {
+	tr := m.tracer.get()
+	root := tr.Start(trace.Context{}, "infer")
+	start := time.Now()
+	probs, winners, live, err = m.inferBestEffort(x, tr, root.Ctx())
+	root.EndErr(err)
+	m.hists.Observe("infer.total", time.Since(start))
+	return probs, winners, live, err
+}
+
+func (m *Master) inferBestEffort(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (probs *tensor.Tensor, winners []int, live int, err error) {
 	peers := m.snapshotPeers()
 
 	batch := x.Shape[0]
@@ -244,7 +344,7 @@ func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winner
 	results := make([]PredictResult, nodes)
 	ok := make([]bool, nodes)
 	var wg sync.WaitGroup
-	payload := transport.EncodeTensor(x)
+	payload := m.encodeInput(x, tr, root)
 	for i, p := range peers {
 		slot := i
 		if localIdx == 0 {
@@ -252,20 +352,23 @@ func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winner
 		}
 		if !p.available() {
 			m.counters.Counter("route.skipped_quarantined").Inc()
+			// The quarantined peer still appears in the span tree, tagged
+			// skipped, so a thinner-than-expected tree reads as "peer was
+			// sick", not "peer never existed".
+			tr.Record(root, "peer "+p.addr, "", trace.StatusSkipped, time.Now(), 0)
 			continue
 		}
 		wg.Add(1)
 		go func(p *peerConn, slot int) {
 			defer wg.Done()
-			res, rerr := p.do(payload)
+			res, rerr := p.do(payload, root)
 			if rerr == nil {
 				results[slot], ok[slot] = res, true
 			}
 		}(p, slot)
 	}
 	if localIdx == 0 {
-		pr, ent := m.localPredict(x)
-		results[0], ok[0] = PredictResult{Probs: pr, Entropy: ent.Data}, true
+		results[0], ok[0] = m.localResult(x, tr, root), true
 	}
 	wg.Wait()
 
@@ -277,6 +380,7 @@ func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winner
 	if live == 0 {
 		return nil, nil, 0, fmt.Errorf("cluster: no node answered")
 	}
+	gateStart := time.Now()
 	probs = tensor.New(batch, m.classes)
 	winners = make([]int, batch)
 	for b := 0; b < batch; b++ {
@@ -293,6 +397,7 @@ func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winner
 		winners[b] = bi
 		copy(probs.RowSlice(b), results[bi].Probs.RowSlice(b))
 	}
+	m.recordGate(tr, root, gateStart)
 	return probs, winners, live, nil
 }
 

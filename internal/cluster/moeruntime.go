@@ -3,11 +3,14 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/teamnet/teamnet/internal/metrics"
 	"github.com/teamnet/teamnet/internal/moe"
 	"github.com/teamnet/teamnet/internal/mpi"
 	"github.com/teamnet/teamnet/internal/nn"
 	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
 	"github.com/teamnet/teamnet/internal/transport"
 )
 
@@ -21,32 +24,68 @@ import (
 
 // MoEExpertServer serves one SG-MoE expert as an RPC service (SG-MoE-G's
 // worker side). The method "predict" maps an input tensor to the expert's
-// class probabilities.
+// class probabilities. Traced RPC calls (frame type rpcRequestTraced) are
+// recorded as "moe.expert.predict" spans under the caller's trace id when a
+// tracer is installed with SetTracer.
 type MoEExpertServer struct {
-	srv *transport.RPCServer
+	srv      *transport.RPCServer
+	counters *metrics.CounterSet
+	hists    *metrics.HistogramSet
+	tracer   *tracerRef
 }
 
 // ServeMoEExpert starts serving the expert on addr and returns the bound
 // address and the server handle.
 func ServeMoEExpert(expert *nn.Network, addr string) (string, *MoEExpertServer, error) {
 	var mu sync.Mutex
-	srv := transport.NewRPCServer()
-	srv.Register("predict", func(req []byte) ([]byte, error) {
+	s := &MoEExpertServer{
+		srv:      transport.NewRPCServer(),
+		counters: metrics.NewCounterSet(),
+		hists:    metrics.NewHistogramSet(),
+		tracer:   &tracerRef{},
+	}
+	s.srv.Register("predict", func(req []byte) ([]byte, error) {
+		s.counters.Counter("requests").Inc()
 		x, _, err := transport.DecodeTensor(req)
 		if err != nil {
+			s.counters.Counter("errors.decode").Inc()
 			return nil, fmt.Errorf("cluster: moe predict decode: %w", err)
 		}
+		start := time.Now()
 		mu.Lock()
 		probs := expert.Predict(x)
 		mu.Unlock()
+		s.hists.Observe("predict", time.Since(start))
 		return transport.EncodeTensor(probs), nil
 	})
-	bound, err := srv.Listen(addr)
+	// The RPC server times every handler call itself; for traced requests
+	// it hands us the propagated context so the span lands under the
+	// master's trace id. (This measures handler time including the replica
+	// lock wait, which is exactly what the master's network/compute split
+	// subtracts out.)
+	s.srv.OnTraced(func(method string, tc transport.TraceContext, start time.Time, d time.Duration) {
+		parent := trace.Context{TraceID: tc.TraceID, SpanID: tc.SpanID}
+		s.tracer.get().Record(parent, "moe.expert."+method, "", "", start, d)
+	})
+	bound, err := s.srv.Listen(addr)
 	if err != nil {
 		return "", nil, err
 	}
-	return bound, &MoEExpertServer{srv: srv}, nil
+	return bound, s, nil
 }
+
+// Counters exposes the expert server's request counters.
+func (s *MoEExpertServer) Counters() *metrics.CounterSet { return s.counters }
+
+// Histograms exposes the expert server's latency histograms ("predict").
+func (s *MoEExpertServer) Histograms() *metrics.HistogramSet { return s.hists }
+
+// SetTracer installs (or, with nil, removes) the expert server's span
+// collector for traced RPC requests.
+func (s *MoEExpertServer) SetTracer(tr *trace.Tracer) { s.tracer.set(tr) }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (s *MoEExpertServer) Tracer() *trace.Tracer { return s.tracer.get() }
 
 // Close stops the expert server.
 func (s *MoEExpertServer) Close() error { return s.srv.Close() }
@@ -56,6 +95,8 @@ func (s *MoEExpertServer) Close() error { return s.srv.Close() }
 type MoEMaster struct {
 	model   *moe.SGMoE
 	clients []*transport.RPCClient // index = expert id
+	hists   *metrics.HistogramSet
+	tracer  *tracerRef
 }
 
 // NewMoEMaster connects to one expert server per expert, in expert order.
@@ -63,7 +104,7 @@ func NewMoEMaster(model *moe.SGMoE, addrs []string) (*MoEMaster, error) {
 	if len(addrs) != model.K() {
 		return nil, fmt.Errorf("cluster: %d expert addrs for %d experts", len(addrs), model.K())
 	}
-	m := &MoEMaster{model: model}
+	m := &MoEMaster{model: model, hists: metrics.NewHistogramSet(), tracer: &tracerRef{}}
 	for i, addr := range addrs {
 		cli, err := transport.DialRPC(addr)
 		if err != nil {
@@ -75,11 +116,39 @@ func NewMoEMaster(model *moe.SGMoE, addrs []string) (*MoEMaster, error) {
 	return m, nil
 }
 
+// Histograms exposes the master's latency histograms ("infer.total",
+// "gate", "expert.<i>.rtt", ...).
+func (m *MoEMaster) Histograms() *metrics.HistogramSet { return m.hists }
+
+// SetTracer installs (or, with nil, removes) the span collector. When set,
+// Infer records a span tree per query and dispatches traced RPC calls so
+// trace-aware expert servers record their side too. Traced calls require
+// trace-aware servers (see transport.RPCClient.CallTraced); leave the
+// tracer nil when talking to pre-trace expert builds.
+func (m *MoEMaster) SetTracer(tr *trace.Tracer) { m.tracer.set(tr) }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (m *MoEMaster) Tracer() *trace.Tracer { return m.tracer.get() }
+
 // Infer gates locally, dispatches the top-k experts in parallel over RPC,
 // and mixes their returned probabilities with the gate weights.
 func (m *MoEMaster) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	tr := m.tracer.get()
+	root := tr.Start(trace.Context{}, "moe.infer")
+	start := time.Now()
+	out, err := m.infer(x, tr, root.Ctx())
+	root.EndErr(err)
+	m.hists.Observe("infer.total", time.Since(start))
+	return out, err
+}
+
+func (m *MoEMaster) infer(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (*tensor.Tensor, error) {
 	batch := x.Shape[0]
+	gateStart := time.Now()
 	indices, weights := m.model.GateSelect(x)
+	gateDur := time.Since(gateStart)
+	m.hists.Observe("gate", gateDur)
+	tr.Record(root, "gate", "", "", gateStart, gateDur)
 
 	// Group rows by selected expert so each expert gets one call.
 	perExpert := make([][]int, m.model.K())
@@ -105,12 +174,32 @@ func (m *MoEMaster) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 		wg.Add(1)
 		go func(e int, rows []int) {
 			defer wg.Done()
+			r := reply{expert: e, rows: rows}
+			sp := tr.Start(root, fmt.Sprintf("expert %d", e))
 			payload := transport.EncodeTensor(x.SelectRows(rows))
-			resp, err := m.clients[e].Call("predict", payload)
-			r := reply{expert: e, rows: rows, err: err}
+			rttStart := time.Now()
+			resp, remote, err := m.clients[e].CallTraced("predict", payload,
+				transport.TraceContext{TraceID: sp.Ctx().TraceID, SpanID: sp.Ctx().SpanID})
+			rtt := time.Since(rttStart)
+			r.err = err
 			if err == nil {
 				r.probs, _, r.err = transport.DecodeTensor(resp)
 			}
+			if err == nil {
+				m.hists.Observe(fmt.Sprintf("expert.%d.rtt", e), rtt)
+				if remote > 0 {
+					// The traced response reports server handler time;
+					// the remainder of the round trip is the wire.
+					network := rtt - remote
+					if network < 0 {
+						network = 0
+					}
+					tr.Record(sp.Ctx(), "network", "", "", rttStart, network)
+					tr.Record(sp.Ctx(), "compute", fmt.Sprintf("expert-%d", e), "",
+						rttStart.Add(network/2), remote)
+				}
+			}
+			sp.EndErr(r.err)
 			mu.Lock()
 			replies = append(replies, r)
 			mu.Unlock()

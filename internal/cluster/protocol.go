@@ -5,6 +5,20 @@
 // distributed variant of step 5; and the SG-MoE runtimes (gate + selected
 // experts over RPC for SG-MoE-G, over the MPI substrate for SG-MoE-M).
 //
+// The runtime assumes an edge fault model — peers stall, reset, vanish and
+// return — and self-heals rather than failing fast: every peer runs the
+// supervision state machine in supervisor.go (healthy → suspect → open →
+// half-open, a circuit breaker with background probe re-admission), round
+// trips carry a bounded retry budget with backoff, and InferBestEffort
+// routes around quarantined peers entirely. The chaos package drives these
+// paths in tests and live drills.
+//
+// The same runtime is fully instrumented: latency histograms and counters
+// are always recorded, and an optional internal/trace tracer decomposes
+// each query into serialize / network / remote-compute / gate spans with
+// trace ids propagated master → worker as backward-compatible payload
+// trailers (tracewire.go, DESIGN.md §7).
+//
 // Everything here runs over real connections — the unit tests and the live
 // benchmark mode exercise actual loopback TCP; the simulated experiments
 // price the same protocol's byte counts through internal/edgesim.
@@ -52,20 +66,29 @@ func EncodeResult(r PredictResult) []byte {
 	return append(out, ent...)
 }
 
-// DecodeResult parses a PredictResult payload.
+// DecodeResult parses a PredictResult payload, ignoring any trailing bytes
+// (which carry the optional timing trailer — see tracewire.go).
 func DecodeResult(payload []byte) (PredictResult, error) {
+	r, _, err := decodeResultRest(payload)
+	return r, err
+}
+
+// decodeResultRest parses a PredictResult payload and also returns the
+// trailing bytes after the entropies, where trace-aware workers append
+// their compute-timing trailer.
+func decodeResultRest(payload []byte) (PredictResult, []byte, error) {
 	probs, used, err := transport.DecodeTensor(payload)
 	if err != nil {
-		return PredictResult{}, fmt.Errorf("cluster: decode result probs: %w", err)
+		return PredictResult{}, nil, fmt.Errorf("cluster: decode result probs: %w", err)
 	}
-	ent, _, err := transport.DecodeFloats(payload[used:])
+	ent, entUsed, err := transport.DecodeFloats(payload[used:])
 	if err != nil {
-		return PredictResult{}, fmt.Errorf("cluster: decode result entropy: %w", err)
+		return PredictResult{}, nil, fmt.Errorf("cluster: decode result entropy: %w", err)
 	}
 	if probs.Shape[0] != len(ent) {
-		return PredictResult{}, fmt.Errorf("cluster: result rows %d != entropies %d", probs.Shape[0], len(ent))
+		return PredictResult{}, nil, fmt.Errorf("cluster: result rows %d != entropies %d", probs.Shape[0], len(ent))
 	}
-	return PredictResult{Probs: probs, Entropy: ent}, nil
+	return PredictResult{Probs: probs, Entropy: ent}, payload[used+entUsed:], nil
 }
 
 // ResultWireBytes reports the on-wire payload size of a result for a batch

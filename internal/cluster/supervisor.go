@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/teamnet/teamnet/internal/metrics"
+	"github.com/teamnet/teamnet/internal/trace"
 	"github.com/teamnet/teamnet/internal/transport"
 )
 
@@ -59,6 +61,10 @@ func (s PeerState) String() string {
 		return fmt.Sprintf("PeerState(%d)", int32(s))
 	}
 }
+
+// MarshalJSON renders the state by name, so /healthz reports "open"
+// rather than an opaque enum ordinal.
+func (s PeerState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
 // SupervisorConfig tunes the peer lifecycle. The zero value means "use the
 // defaults" for every field.
@@ -143,8 +149,8 @@ func (m *Master) Health() []PeerHealth {
 	return out
 }
 
-// HealthReport renders Health plus the raw counter set, the block
-// teamnet-infer prints after a run.
+// HealthReport renders Health plus the raw counter set and the latency
+// histogram digests, the block teamnet-infer prints after a run.
 func (m *Master) HealthReport() string {
 	var b strings.Builder
 	for _, h := range m.Health() {
@@ -159,6 +165,7 @@ func (m *Master) HealthReport() string {
 	for _, name := range names {
 		fmt.Fprintf(&b, "%s=%d\n", name, snap[name])
 	}
+	b.WriteString(m.hists.String())
 	return b.String()
 }
 
@@ -170,6 +177,18 @@ func (m *Master) Counters() *metrics.CounterSet { return m.counters }
 func (p *peerConn) counter(name string) *metrics.Counter {
 	return p.counters.Counter("peer." + p.addr + "." + name)
 }
+
+// observe records one latency sample into the peer's named histogram
+// ("peer.<addr>.<name>"); nil-safe for hand-built test peers.
+func (p *peerConn) observe(name string, d time.Duration) {
+	if p.hists == nil {
+		return
+	}
+	p.hists.Observe("peer."+p.addr+"."+name, d)
+}
+
+// tracer returns the shared master tracer (nil = tracing off).
+func (p *peerConn) tracer() *trace.Tracer { return p.trc.get() }
 
 func (p *peerConn) config() SupervisorConfig {
 	p.stateMu.Lock()
@@ -300,10 +319,14 @@ func (p *peerConn) probeOnce(cfg SupervisorConfig) bool {
 		return false
 	}
 	deadline := p.pingDeadline(cfg)
+	pingStart := time.Now()
 	if err := pingConn(conn, deadline); err != nil {
 		conn.Close()
 		return false
 	}
+	// A successful probe is a real measurement of the healing link — record
+	// it instead of discarding the timing.
+	p.observe("probe", time.Since(pingStart))
 	p.mu.Lock()
 	if p.conn != nil {
 		p.conn.Close()
@@ -378,27 +401,57 @@ func (e errPeerQuarantined) Error() string {
 	return fmt.Sprintf("cluster: peer %s quarantined (circuit %s)", e.addr, e.state)
 }
 
+// attemptTiming captures where one round-trip attempt spent its time, so
+// do can emit the dial/network/compute spans and feed the latency
+// histograms after the fact.
+type attemptTiming struct {
+	dialed    bool
+	dialStart time.Time
+	dialDur   time.Duration
+	rttStart  time.Time
+	rtt       time.Duration // write → read wall time, 0 if the write never happened
+	remote    time.Duration // worker-reported compute time, 0 if unknown (old worker)
+}
+
 // do performs one supervised predict round trip: bounded retries over
 // transient I/O errors with backoff, redialing broken connections, feeding
 // the breaker on every outcome. Worker-reported errors (MsgError) come from
 // a live peer and are returned immediately without punishing it.
-func (p *peerConn) do(payload []byte) (PredictResult, error) {
+//
+// parent is the query's root span context; each peer round trip records a
+// "peer <addr>" span beneath it with dial / backoff / network / compute
+// children, and every successful attempt lands in the peer's rtt (and,
+// when the worker reports it, compute) histograms.
+func (p *peerConn) do(payload []byte, parent trace.Context) (PredictResult, error) {
 	cfg := p.config()
+	tr := p.tracer()
 	if !p.available() {
+		tr.Record(parent, "peer "+p.addr, "", trace.StatusError, time.Now(), 0)
 		return PredictResult{}, errPeerQuarantined{addr: p.addr, state: p.State()}
 	}
+	sp := tr.Start(parent, "peer "+p.addr)
+	res, err := p.doAttempts(cfg, tr, sp.Ctx(), payload)
+	sp.EndErr(err)
+	return res, err
+}
+
+// doAttempts is do's retry loop, with span emission under peerCtx.
+func (p *peerConn) doAttempts(cfg SupervisorConfig, tr *trace.Tracer, peerCtx trace.Context, payload []byte) (PredictResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			p.counter("retries").Inc()
+			backoffStart := time.Now()
 			if !cfg.RetryBackoff.Sleep(attempt-1, p.done) {
 				break // master closing
 			}
+			tr.Record(peerCtx, "backoff", "", "", backoffStart, time.Since(backoffStart))
 			if !p.available() {
 				break // breaker tripped while we backed off
 			}
 		}
-		res, err, peerFault := p.tryOnce(cfg, payload)
+		res, tm, err, peerFault := p.tryOnce(cfg, payload)
+		p.emitAttempt(tr, peerCtx, tm, err)
 		if err == nil {
 			p.recordSuccess()
 			return res, nil
@@ -414,19 +467,52 @@ func (p *peerConn) do(payload []byte) (PredictResult, error) {
 	return PredictResult{}, fmt.Errorf("cluster: peer %s: %w", p.addr, lastErr)
 }
 
+// emitAttempt turns one attempt's timing into spans and histogram samples.
+// The round trip splits into "network" (wall time minus the worker-reported
+// compute) and "compute" (attributed to the peer node) — the paper's
+// transfer-vs-compute decomposition, per request.
+func (p *peerConn) emitAttempt(tr *trace.Tracer, peerCtx trace.Context, tm attemptTiming, err error) {
+	status := ""
+	if err != nil {
+		status = trace.StatusError
+	}
+	if tm.dialed {
+		tr.Record(peerCtx, "dial", "", status, tm.dialStart, tm.dialDur)
+		p.observe("dial", tm.dialDur)
+	}
+	if tm.rtt <= 0 {
+		return
+	}
+	network := tm.rtt - tm.remote
+	if network < 0 {
+		network = tm.rtt
+	}
+	tr.Record(peerCtx, "network", "", status, tm.rttStart, network)
+	if tm.remote > 0 {
+		// The worker's compute window sits inside the round trip; center it
+		// so the tree reads in causal order. Only its duration is load-
+		// bearing — clocks are never compared across nodes.
+		tr.Record(peerCtx, "compute", p.addr, status, tm.rttStart.Add(network/2), tm.remote)
+		p.observe("compute", tm.remote)
+	}
+	if err == nil {
+		p.observe("rtt", tm.rtt)
+	}
+}
+
 // tryOnce performs one wire round trip. peerFault reports whether the error
 // indicts the peer/link (retryable) as opposed to the request (not).
-func (p *peerConn) tryOnce(cfg SupervisorConfig, payload []byte) (res PredictResult, err error, peerFault bool) {
+func (p *peerConn) tryOnce(cfg SupervisorConfig, payload []byte) (res PredictResult, tm attemptTiming, err error, peerFault bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if err := p.ensureConnLocked(cfg); err != nil {
-		return PredictResult{}, err, true
+	if derr := p.ensureConnTimedLocked(cfg, &tm); derr != nil {
+		return PredictResult{}, tm, derr, true
 	}
 	p.counter("requests").Inc()
 	if p.timeout > 0 {
 		if err := p.conn.SetDeadline(time.Now().Add(p.timeout)); err != nil {
 			p.dropConnLocked()
-			return PredictResult{}, fmt.Errorf("set deadline: %w", err), true
+			return PredictResult{}, tm, fmt.Errorf("set deadline: %w", err), true
 		}
 		defer func() {
 			if p.conn != nil {
@@ -434,43 +520,63 @@ func (p *peerConn) tryOnce(cfg SupervisorConfig, payload []byte) (res PredictRes
 			}
 		}()
 	}
+	tm.rttStart = time.Now()
 	if err := transport.WriteFrame(p.conn, MsgPredict, payload); err != nil {
 		p.dropConnLocked()
-		return PredictResult{}, err, true
+		return PredictResult{}, tm, err, true
 	}
 	typ, resp, err := transport.ReadFrame(p.conn)
+	tm.rtt = time.Since(tm.rttStart)
 	if err != nil {
 		p.dropConnLocked()
-		return PredictResult{}, err, true
+		return PredictResult{}, tm, err, true
 	}
 	switch typ {
 	case MsgResult:
-		r, derr := DecodeResult(resp)
+		r, rest, derr := decodeResultRest(resp)
 		if derr != nil {
 			// Undecodable result: corrupted link, not a bad request.
 			p.dropConnLocked()
-			return PredictResult{}, derr, true
+			return PredictResult{}, tm, derr, true
 		}
-		return r, nil, false
+		tm.remote, _ = extractComputeTime(rest)
+		return r, tm, nil, false
 	case MsgError:
-		return PredictResult{}, fmt.Errorf("worker error: %s", resp), false
+		return PredictResult{}, tm, fmt.Errorf("worker error: %s", resp), false
 	default:
 		p.dropConnLocked()
-		return PredictResult{}, fmt.Errorf("unexpected frame type %d", typ), true
+		return PredictResult{}, tm, fmt.Errorf("unexpected frame type %d", typ), true
 	}
+}
+
+// ensureConnTimedLocked is ensureConnLocked with dial timing captured into
+// tm; p.mu held.
+func (p *peerConn) ensureConnTimedLocked(cfg SupervisorConfig, tm *attemptTiming) error {
+	if p.conn != nil {
+		return nil
+	}
+	tm.dialed = true
+	tm.dialStart = time.Now()
+	err := p.ensureConnLocked(cfg)
+	tm.dialDur = time.Since(tm.dialStart)
+	return err
 }
 
 // ping round-trips one liveness probe on the peer's live connection,
 // redialing first if it is down. Errors feed the breaker like any other
-// transient failure.
+// transient failure; successful round trips land in the peer's "ping"
+// latency histogram — a health sweep doubles as a latency measurement.
 func (p *peerConn) ping() error {
 	cfg := p.config()
 	p.mu.Lock()
 	err := p.ensureConnLocked(cfg)
 	if err == nil {
+		start := time.Now()
 		err = pingConn(p.conn, p.pingDeadlineLocked(cfg))
 		if err != nil {
 			p.dropConnLocked()
+		} else {
+			p.observe("ping", time.Since(start))
 		}
 	}
 	p.mu.Unlock()

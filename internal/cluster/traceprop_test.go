@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// spanByName indexes one trace's spans; duplicate names keep the first.
+func spanByName(spans []trace.Span) map[string]trace.Span {
+	out := make(map[string]trace.Span)
+	for _, s := range spans {
+		if _, ok := out[s.Name]; !ok {
+			out[s.Name] = s
+		}
+	}
+	return out
+}
+
+// TestTracePropagationOverTCP is the tentpole acceptance check: one traced
+// query against a real TCP worker produces a master-side span tree whose
+// network+compute split sums to (at most) the query total, and the worker
+// records its own span under the SAME trace id — propagated on the wire,
+// not shared in memory.
+func TestTracePropagationOverTCP(t *testing.T) {
+	worker := NewWorker(tinyExpert(t, 70), 1)
+	workerTr := trace.New("worker", 0)
+	worker.SetTracer(workerTr)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+
+	master := NewMaster(tinyExpert(t, 71), 3)
+	defer master.Close()
+	masterTr := trace.New("master", 0)
+	master.SetTracer(masterTr)
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	x := tensor.NewRNG(72).Randn(1, 4)
+	if _, _, err := master.Infer(x); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := masterTr.TraceIDs(1)
+	if len(ids) != 1 {
+		t.Fatalf("master recorded %d traces, want 1", len(ids))
+	}
+	spans := masterTr.Trace(ids[0])
+	by := spanByName(spans)
+	for _, name := range []string{"infer", "serialize", "peer " + addr, "network", "compute", "local.compute", "gate"} {
+		if _, ok := by[name]; !ok {
+			t.Fatalf("master trace missing span %q; have %v", name, spans)
+		}
+	}
+	// The per-peer split is the paper's decomposition: network + compute
+	// must fit inside the query total (the rest is serialize/gate/local).
+	total := by["infer"].Duration
+	split := by["network"].Duration + by["compute"].Duration
+	if split <= 0 || split > total {
+		t.Fatalf("network+compute = %v outside (0, total=%v]", split, total)
+	}
+	if by["compute"].Node != addr {
+		t.Fatalf("compute span attributed to %q, want worker %q", by["compute"].Node, addr)
+	}
+	// Tree structure: peer span parents network and compute.
+	peer := by["peer "+addr]
+	if by["network"].ParentID != peer.SpanID || by["compute"].ParentID != peer.SpanID {
+		t.Fatal("network/compute spans not parented to the peer span")
+	}
+
+	// Worker side: the trace id crossed the TCP connection.
+	deadline := time.Now().Add(2 * time.Second)
+	for workerTr.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	wspans := workerTr.Snapshot(0)
+	if len(wspans) == 0 {
+		t.Fatal("worker recorded no spans for a traced query")
+	}
+	ws := wspans[len(wspans)-1]
+	if ws.Name != "worker.predict" {
+		t.Fatalf("worker span name %q", ws.Name)
+	}
+	if ws.TraceID != ids[0] {
+		t.Fatalf("worker trace id %x != master trace id %x", ws.TraceID, ids[0])
+	}
+	if ws.ParentID != by["infer"].SpanID {
+		t.Fatalf("worker span parent %x != query root span %x", ws.ParentID, by["infer"].SpanID)
+	}
+}
+
+// TestTraceOldWorkerInterop drives a traced master against a minimal
+// hand-rolled "old" worker that decodes the tensor with the pre-trace codec
+// and answers without any trailer: the trailer must be ignored and the
+// query must succeed, just without a remote-compute span.
+func TestTraceOldWorkerInterop(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			typ, payload, err := transport.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if typ == MsgPing {
+				transport.WriteFrame(conn, MsgPong, nil) //nolint:errcheck
+				continue
+			}
+			// Old decoder: consume the tensor, ignore whatever follows
+			// (that "whatever" is the new trace trailer).
+			x, _, err := transport.DecodeTensor(payload)
+			if err != nil {
+				transport.WriteFrame(conn, MsgError, []byte(err.Error())) //nolint:errcheck
+				return
+			}
+			probs := tensor.New(x.Shape[0], 3)
+			for b := 0; b < x.Shape[0]; b++ {
+				probs.RowSlice(b)[0] = 1
+			}
+			res := PredictResult{Probs: probs, Entropy: make([]float64, x.Shape[0])}
+			// No timing trailer: pre-trace wire format.
+			if err := transport.WriteFrame(conn, MsgResult, EncodeResult(res)); err != nil {
+				return
+			}
+		}
+	}()
+
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	masterTr := trace.New("master", 0)
+	master.SetTracer(masterTr)
+	if err := master.Connect(ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(73).Randn(1, 4)
+	if _, _, err := master.Infer(x); err != nil {
+		t.Fatalf("traced master against old worker: %v", err)
+	}
+	ids := masterTr.TraceIDs(1)
+	if len(ids) != 1 {
+		t.Fatal("no trace recorded")
+	}
+	by := spanByName(masterTr.Trace(ids[0]))
+	if _, ok := by["network"]; !ok {
+		t.Fatal("round trip span missing")
+	}
+	if _, ok := by["compute"]; ok {
+		t.Fatal("old worker cannot report compute time, yet a compute span appeared")
+	}
+}
+
+// TestNewWorkerUntracedMasterAppendsHarmlessTrailer covers the reverse
+// direction: a new worker always appends the timing trailer, and an
+// untraced master (which uses the strict pre-trace decode path via
+// DecodeResult's trailing-byte tolerance) still round-trips correctly.
+func TestNewWorkerUntracedMasterInterop(t *testing.T) {
+	worker := NewWorker(tinyExpert(t, 74), 1)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+
+	master := NewMaster(nil, 3) // no SetTracer: no trailer on requests
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(75).Randn(2, 4)
+	probs, winners, err := master.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs.Shape[0] != 2 || len(winners) != 2 {
+		t.Fatalf("bad result shape %v / %d winners", probs.Shape, len(winners))
+	}
+}
+
+// TestBestEffortTagsQuarantinedPeerSkipped: the satellite bugfix — a
+// quarantined peer must appear in the span tree tagged skipped, not vanish.
+func TestBestEffortTagsQuarantinedPeerSkipped(t *testing.T) {
+	worker := NewWorker(tinyExpert(t, 76), 1)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master := NewMaster(tinyExpert(t, 77), 3)
+	defer master.Close()
+	master.SetSupervisor(fastSupervisor())
+	master.SetTimeout(200 * time.Millisecond)
+	masterTr := trace.New("master", 0)
+	master.SetTracer(masterTr)
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the worker and burn through the failure threshold.
+	worker.Close()
+	x := tensor.NewRNG(78).Randn(1, 4)
+	for i := 0; i < 6; i++ {
+		if _, _, _, err := master.InferBestEffort(x); err != nil {
+			t.Fatal(err)
+		}
+		if h := master.Health(); len(h) == 1 && h[0].State == PeerOpen {
+			break
+		}
+	}
+	waitForPeerState(t, master, 0, PeerOpen, 2*time.Second)
+
+	if _, _, live, err := master.InferBestEffort(x); err != nil {
+		t.Fatal(err)
+	} else if live != 1 {
+		t.Fatalf("live = %d, want 1 (local only)", live)
+	}
+	ids := masterTr.TraceIDs(1)
+	if len(ids) != 1 {
+		t.Fatal("no trace recorded")
+	}
+	var skipped bool
+	for _, s := range masterTr.Trace(ids[0]) {
+		if s.Name == "peer "+addr && s.Status == trace.StatusSkipped {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Fatalf("no skipped span for quarantined peer in %v", masterTr.Trace(ids[0]))
+	}
+}
+
+// TestPingRecordsLatencyHistogram: the satellite bugfix — Master.Ping and
+// the supervisor's probes must feed the latency histograms instead of
+// discarding their timings.
+func TestPingRecordsLatencyHistogram(t *testing.T) {
+	worker := NewWorker(tinyExpert(t, 79), 1)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := master.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	h := master.Histograms().Histogram("peer." + addr + ".ping")
+	if h.Count() < 1 {
+		t.Fatal("Ping did not record a latency sample")
+	}
+	if h.Sum() <= 0 {
+		t.Fatal("ping histogram recorded a zero-duration sample")
+	}
+}

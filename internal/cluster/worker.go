@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/teamnet/teamnet/internal/metrics"
 	"github.com/teamnet/teamnet/internal/nn"
 	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
 	"github.com/teamnet/teamnet/internal/transport"
 )
 
@@ -15,10 +17,18 @@ import (
 // Figure 1(d). It answers MsgPredict frames with MsgResult frames carrying
 // probabilities and predictive entropies, and responds to pings and
 // election traffic.
+//
+// Every MsgResult carries the measured expert compute time as a trailing
+// timing trailer (see tracewire.go), so the master can split its observed
+// round trip into network and compute; requests that arrive with a trace
+// trailer additionally record a "worker.predict" span — under the
+// propagated master trace id — into the worker's own tracer.
 type Worker struct {
 	pool     chan *nn.Network // expert replicas; nn.Network is single-goroutine
 	id       int              // election identity; higher wins
 	counters *metrics.CounterSet
+	hists    *metrics.HistogramSet
+	tracer   *tracerRef
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -46,12 +56,31 @@ func NewWorkerPool(replicas []*nn.Network, id int) *Worker {
 	for _, e := range replicas {
 		pool <- e
 	}
-	return &Worker{pool: pool, id: id, conns: make(map[net.Conn]struct{}), counters: metrics.NewCounterSet()}
+	return &Worker{
+		pool:     pool,
+		id:       id,
+		conns:    make(map[net.Conn]struct{}),
+		counters: metrics.NewCounterSet(),
+		hists:    metrics.NewHistogramSet(),
+		tracer:   &tracerRef{},
+	}
 }
 
 // Counters exposes the worker's serving counters ("requests",
 // "panics.recovered", ...).
 func (w *Worker) Counters() *metrics.CounterSet { return w.counters }
+
+// Histograms exposes the worker's latency histograms ("predict" — expert
+// compute time per served request).
+func (w *Worker) Histograms() *metrics.HistogramSet { return w.hists }
+
+// SetTracer installs (or, with nil, removes) the worker's span collector.
+// Requests carrying a trace trailer then record "worker.predict" spans
+// correlated with the master's trace ids.
+func (w *Worker) SetTracer(tr *trace.Tracer) { w.tracer.set(tr) }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (w *Worker) Tracer() *trace.Tracer { return w.tracer.get() }
 
 // Listen binds to addr (use "127.0.0.1:0" for tests) and serves in the
 // background. It returns the bound address.
@@ -106,12 +135,25 @@ func (w *Worker) serveConn(conn net.Conn) {
 		switch typ {
 		case MsgPredict:
 			w.counters.Counter("requests").Inc()
-			x, _, err := transport.DecodeTensor(payload)
+			x, used, err := transport.DecodeTensor(payload)
 			if err != nil {
 				_ = transport.WriteFrame(conn, MsgError, []byte(err.Error()))
 				return
 			}
+			// Trace context rides as a trailer after the tensor; absent on
+			// untraced masters and pre-trace builds.
+			ctx := extractTraceContext(payload[used:])
+			start := time.Now()
 			res, perr := w.predict(x)
+			compute := time.Since(start)
+			w.hists.Observe("predict", compute)
+			if ctx.Valid() {
+				status := ""
+				if perr != nil {
+					status = trace.StatusError
+				}
+				w.tracer.get().Record(ctx, "worker.predict", "", status, start, compute)
+			}
 			if perr != nil {
 				// A malformed tensor that panics inside the NN must cost
 				// one MsgError, never the serving goroutine: answer and
@@ -121,7 +163,9 @@ func (w *Worker) serveConn(conn net.Conn) {
 				}
 				continue
 			}
-			if err := transport.WriteFrame(conn, MsgResult, EncodeResult(res)); err != nil {
+			// The compute-time trailer is always appended — old masters
+			// ignore it, new ones use it for the network/compute split.
+			if err := transport.WriteFrame(conn, MsgResult, appendComputeTime(EncodeResult(res), compute)); err != nil {
 				return
 			}
 		case MsgPing:

@@ -1,0 +1,55 @@
+package edgesim
+
+import (
+	"time"
+
+	"github.com/teamnet/teamnet/internal/trace"
+)
+
+// Modeled spans: the simulated experiments price latency analytically, but
+// the operator tooling (teamnet-infer -trace, /traces) renders span trees.
+// This file bridges the two — a modeled cost breakdown becomes a synthetic
+// trace recorded through the same internal/trace ring, so simulated and
+// live runs are read with the same eyes (and the same docs).
+
+// ModeledSpan is one component of a modeled latency breakdown. Children
+// are laid out sequentially inside their parent; a parent whose Sec is
+// zero spans exactly its children.
+type ModeledSpan struct {
+	Name     string
+	Node     string // attributed device/peer, "" for the master
+	Sec      float64
+	Children []ModeledSpan
+}
+
+// totalSec returns the span's own time or, when zero, its children's sum.
+func (s ModeledSpan) totalSec() float64 {
+	if s.Sec > 0 || len(s.Children) == 0 {
+		return s.Sec
+	}
+	sum := 0.0
+	for _, c := range s.Children {
+		sum += c.totalSec()
+	}
+	return sum
+}
+
+// RecordModeledQuery records one modeled inference as a synthetic span
+// tree rooted at name, with components laid out back-to-back starting at
+// base. It returns the root context (zero when tr is nil), so callers can
+// fetch the trace id and render it with trace.Tracer.Tree.
+func RecordModeledQuery(tr *trace.Tracer, base time.Time, name string, comps []ModeledSpan) trace.Context {
+	total := ModeledSpan{Name: name, Children: comps}
+	return recordModeled(tr, trace.Context{}, base, total)
+}
+
+func recordModeled(tr *trace.Tracer, parent trace.Context, start time.Time, s ModeledSpan) trace.Context {
+	d := time.Duration(s.totalSec() * float64(time.Second))
+	ctx := tr.Record(parent, s.Name, s.Node, "", start, d)
+	at := start
+	for _, c := range s.Children {
+		recordModeled(tr, ctx, at, c)
+		at = at.Add(time.Duration(c.totalSec() * float64(time.Second)))
+	}
+	return ctx
+}

@@ -1,0 +1,56 @@
+package edgesim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/trace"
+)
+
+func TestRecordModeledQuery(t *testing.T) {
+	tr := trace.New("sim", 64)
+	base := time.Unix(1000, 0)
+	root := RecordModeledQuery(tr, base, "teamnet", []ModeledSpan{
+		{Name: "broadcast", Sec: 0.001},
+		{Name: "peer", Children: []ModeledSpan{
+			{Name: "compute", Node: "jetson-tx2-cpu", Sec: 0.003},
+			{Name: "gather", Sec: 0.0005},
+		}},
+	})
+	if !root.Valid() {
+		t.Fatal("no root context")
+	}
+	spans := tr.Trace(root.TraceID)
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	byName := make(map[string]trace.Span)
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	// Root covers its children's sum: 1ms + (3ms + 0.5ms).
+	if got, want := byName["teamnet"].Duration, 4500*time.Microsecond; got != want {
+		t.Fatalf("root duration %v, want %v", got, want)
+	}
+	// Children lay out sequentially: peer starts where broadcast ends.
+	if got, want := byName["peer"].Start, base.Add(time.Millisecond); !got.Equal(want) {
+		t.Fatalf("peer starts at %v, want %v", got, want)
+	}
+	if byName["compute"].Node != "jetson-tx2-cpu" {
+		t.Fatalf("compute node = %q", byName["compute"].Node)
+	}
+	tree := tr.Tree(root.TraceID)
+	for _, want := range []string{"teamnet", "├─ broadcast", "└─ peer", "└─ gather"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestRecordModeledQueryNilTracer(t *testing.T) {
+	root := RecordModeledQuery(nil, time.Unix(0, 0), "x", []ModeledSpan{{Name: "y", Sec: 1}})
+	if root.Valid() {
+		t.Fatal("nil tracer returned a live context")
+	}
+}

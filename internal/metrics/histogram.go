@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram safe for concurrent use:
+// observations land in exponentially growing duration buckets (factor 2
+// from 1µs), so p50/p95/p99 extraction costs one pass over ~32 counters
+// instead of retaining samples the way Summary does. This is what the
+// cluster runtime records every round trip, ping and probe into — bounded
+// memory under production traffic, where Summary's sample slice is not.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNano atomic.Int64
+	buckets [histBuckets]atomic.Int64 // bucket i counts d <= histBound(i)
+}
+
+// histBuckets log-2 buckets from 1µs: the last finite bound is
+// 1µs·2^30 ≈ 18 minutes; anything beyond lands in the implicit +Inf
+// overflow bucket.
+const histBuckets = 31
+
+// histBound returns the inclusive upper bound of bucket i.
+func histBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+// bucketFor returns the index of the first bucket whose bound holds d, or
+// histBuckets for the +Inf overflow.
+func bucketFor(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	for i := 0; i < histBuckets; i++ {
+		if d <= histBound(i) {
+			return i
+		}
+	}
+	return histBuckets
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+	if i := bucketFor(d); i < histBuckets {
+		h.buckets[i].Add(1)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNano.Load()) }
+
+// Mean returns the average observation, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) estimated by log-linear
+// interpolation inside the holding bucket — exact to within the bucket's
+// factor-2 width, which is the precision a latency breakdown needs. With no
+// samples it returns 0; observations beyond the last finite bucket report
+// that bucket's bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := float64(time.Duration(0))
+			if i > 0 {
+				lo = float64(histBound(i - 1))
+			}
+			hi := float64(histBound(i))
+			frac := float64(rank-cum) / float64(c)
+			return time.Duration(lo + frac*(hi-lo))
+		}
+		cum += c
+	}
+	return histBound(histBuckets - 1)
+}
+
+// String renders a one-line digest matching Summary's shape.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond))
+}
+
+// cumulative returns (bound, cumulative count) pairs for every finite
+// bucket up to and including the first one that reaches the total, plus the
+// implicit overflow — the Prometheus exposition shape.
+func (h *Histogram) cumulative() (bounds []time.Duration, counts []int64) {
+	var cum int64
+	total := h.count.Load()
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		bounds = append(bounds, histBound(i))
+		counts = append(counts, cum)
+		if cum == total && i >= 9 { // always emit at least the <=512µs buckets
+			break
+		}
+	}
+	return bounds, counts
+}
+
+// HistogramSet is a named collection of histograms created on first use,
+// the latency-distribution sibling of CounterSet. Safe for concurrent use.
+type HistogramSet struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// NewHistogramSet returns an empty set.
+func NewHistogramSet() *HistogramSet {
+	return &HistogramSet{m: make(map[string]*Histogram)}
+}
+
+// Histogram returns the histogram registered under name, creating it at
+// zero on first use.
+func (s *HistogramSet) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.m[name]
+	if !ok {
+		h = &Histogram{}
+		s.m[name] = h
+	}
+	return h
+}
+
+// Observe is shorthand for Histogram(name).Observe(d).
+func (s *HistogramSet) Observe(name string, d time.Duration) {
+	s.Histogram(name).Observe(d)
+}
+
+// Names returns the registered histogram names, sorted.
+func (s *HistogramSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders one digest line per histogram, sorted by name.
+func (s *HistogramSet) String() string {
+	var out string
+	for _, name := range s.Names() {
+		out += fmt.Sprintf("%s: %s\n", name, s.Histogram(name).String())
+	}
+	return out
+}

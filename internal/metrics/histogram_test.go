@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramCountSumMean(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 6*time.Millisecond {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+// TestHistogramQuantilesKnownDistribution feeds a known distribution —
+// 1000 samples uniform over (0, 100ms] — and checks the extracted
+// quantiles against the true values within log-bucket resolution (the
+// holding bucket's factor-2 bounds).
+func TestHistogramQuantilesKnownDistribution(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond) // 0.1ms .. 100ms
+	}
+	cases := []struct {
+		q    float64
+		true time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		// The true value's bucket is [bound(i-1), bound(i)]; the estimate
+		// must land in the same factor-2 bucket.
+		lo, hi := c.true/2, c.true*2
+		if got < lo || got > hi {
+			t.Errorf("q%.0f = %v, want within [%v, %v] of true %v", c.q*100, got, lo, hi, c.true)
+		}
+	}
+	// Quantiles are monotone in q.
+	if !(h.Quantile(0.5) <= h.Quantile(0.95) && h.Quantile(0.95) <= h.Quantile(0.99)) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v",
+			h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
+	}
+}
+
+func TestHistogramQuantileExactBucket(t *testing.T) {
+	var h Histogram
+	// All mass in one bucket: every quantile must land inside its bounds.
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Millisecond) // bucket (2.048ms, 4.096ms]
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got <= 2048*time.Microsecond || got > 4096*time.Microsecond {
+			t.Errorf("Quantile(%g) = %v, outside holding bucket (2.048ms, 4.096ms]", q, got)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Hour) // beyond the last finite bound
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, last := h.Quantile(1), histBound(histBuckets-1); got != last {
+		t.Errorf("overflow quantile = %v, want saturation at %v", got, last)
+	}
+}
+
+func TestHistogramSet(t *testing.T) {
+	s := NewHistogramSet()
+	s.Observe("a.rtt", time.Millisecond)
+	s.Observe("a.rtt", time.Millisecond)
+	s.Observe("b.rtt", time.Second)
+	if got := s.Histogram("a.rtt").Count(); got != 2 {
+		t.Errorf("a.rtt count = %d", got)
+	}
+	if names := s.Names(); len(names) != 2 || names[0] != "a.rtt" || names[1] != "b.rtt" {
+		t.Errorf("names = %v", names)
+	}
+	if out := s.String(); !strings.Contains(out, "a.rtt: n=2") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+// promLine matches one exposition line: a metric name with optional labels
+// followed by a number.
+var promLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? (NaN|[-+0-9.eE]+|\+Inf)$`)
+
+// TestWritePrometheusParses renders a realistic counter + histogram mix and
+// checks the output line by line: every line must match the exposition
+// grammar, per-peer series must be labelled, histogram buckets must be
+// cumulative and capped by _count.
+func TestWritePrometheusParses(t *testing.T) {
+	cs := NewCounterSet()
+	cs.Counter("peer.127.0.0.1:7001.requests").Add(5)
+	cs.Counter("peer.127.0.0.1:7001.failures").Add(2)
+	cs.Counter("route.skipped_quarantined").Add(1)
+
+	hs := NewHistogramSet()
+	for i := 1; i <= 100; i++ {
+		hs.Observe("peer.127.0.0.1:7001.rtt", time.Duration(i)*time.Millisecond)
+		hs.Observe("infer.total", time.Duration(i)*2*time.Millisecond)
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, []*CounterSet{cs, nil}, []*HistogramSet{hs, nil}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	lines := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if !promLine.MatchString(line) {
+			t.Errorf("line %d does not parse as prometheus exposition: %q", lines, line)
+		}
+	}
+	if lines < 10 {
+		t.Fatalf("suspiciously few lines (%d):\n%s", lines, out)
+	}
+
+	for _, want := range []string{
+		`teamnet_peer_requests_total{peer="127.0.0.1:7001"} 5`,
+		`teamnet_route_skipped_quarantined_total 1`,
+		`teamnet_infer_total_seconds_count 100`,
+		`teamnet_peer_rtt_seconds_bucket{peer="127.0.0.1:7001",le="+Inf"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	// Bucket series must be cumulative (non-decreasing) and end at count.
+	var prev int64 = -1
+	bucketRe := regexp.MustCompile(`^teamnet_infer_total_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	found := 0
+	for _, line := range strings.Split(out, "\n") {
+		m := bucketRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		found++
+		var v int64
+		fmt.Sscanf(m[2], "%d", &v)
+		if v < prev {
+			t.Errorf("bucket counts not cumulative at le=%s: %d < %d", m[1], v, prev)
+		}
+		prev = v
+	}
+	if found == 0 {
+		t.Fatal("no bucket lines found for infer.total")
+	}
+	if prev != 100 {
+		t.Errorf("final cumulative bucket = %d, want 100", prev)
+	}
+}
+
+func TestPeerSeriesSplit(t *testing.T) {
+	addr, field, ok := peerSeries("peer.127.0.0.1:7001.rtt")
+	if !ok || addr != "127.0.0.1:7001" || field != "rtt" {
+		t.Errorf("got addr=%q field=%q ok=%v", addr, field, ok)
+	}
+	if _, _, ok := peerSeries("infer.total"); ok {
+		t.Error("non-peer name matched peer pattern")
+	}
+	if _, _, ok := peerSeries("peer.x"); ok {
+		t.Error("malformed peer name matched")
+	}
+}

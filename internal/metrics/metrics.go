@@ -1,8 +1,21 @@
-// Package metrics provides the small measurement kit the live benchmarks
-// and CLI tools use: duration summaries with percentiles and monotonic
-// stopwatches. The simulated experiments (internal/bench) produce modeled
-// times instead; this package measures the real thing when the runtime
-// executes over actual sockets.
+// Package metrics provides the small measurement kit the live runtime, the
+// benchmarks and the CLI tools share:
+//
+//   - Summary: sample-retaining duration statistics for short offline runs
+//     (exact percentiles, unbounded memory — fine for a CLI, wrong for a
+//     server).
+//   - Counter / CounterSet: monotonic event counters, the supervisor's
+//     retry/redial/breaker accounting.
+//   - Histogram / HistogramSet: log-bucketed latency histograms with
+//     p50/p95/p99 extraction in bounded memory — what the cluster runtime
+//     records every round trip, ping and probe into.
+//   - WritePrometheus: text exposition of counters and histograms for the
+//     admin server's /metrics endpoint, mapping the supervisor's
+//     "peer.<addr>.<field>" series onto peer-labelled metric families.
+//
+// The simulated experiments (internal/bench) produce modeled times instead;
+// this package measures the real thing when the runtime executes over
+// actual sockets.
 package metrics
 
 import (

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the admin server's
+// /metrics endpoint. The runtime's flat counter names are mapped onto the
+// Prometheus data model:
+//
+//   - "peer.<addr>.<field>" (the supervisor's per-peer series) becomes
+//     teamnet_peer_<field>{peer="<addr>"} — one metric family per field
+//     with the address as a label, so dashboards aggregate across peers.
+//   - every other name is sanitized into teamnet_<name> with non-alphanumeric
+//     runes collapsed to '_'.
+//
+// Counters get the conventional _total suffix; histograms are exposed in
+// seconds with cumulative le buckets, _sum and _count, exactly the shape
+// prometheus' scraper and promql's histogram_quantile expect.
+
+// peerSeries splits a "peer.<addr>.<field>" name into its address and
+// field, reporting ok=false for names outside that pattern.
+func peerSeries(name string) (addr, field string, ok bool) {
+	rest, found := strings.CutPrefix(name, "peer.")
+	if !found {
+		return "", "", false
+	}
+	i := strings.LastIndex(rest, ".")
+	if i <= 0 || i == len(rest)-1 {
+		return "", "", false
+	}
+	return rest[:i], rest[i+1:], true
+}
+
+// sanitizeMetricName maps an arbitrary runtime name onto the Prometheus
+// metric-name charset [a-zA-Z0-9_].
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promName renders the full series name (metric plus optional peer label)
+// for one flat runtime name.
+func promName(prefix, name, suffix string) string {
+	if addr, field, ok := peerSeries(name); ok {
+		return fmt.Sprintf("%speer_%s%s{peer=%q}", prefix, sanitizeMetricName(field), suffix, escapeLabel(addr))
+	}
+	return prefix + sanitizeMetricName(name) + suffix
+}
+
+// promBucketName renders a histogram bucket series with its le label.
+func promBucketName(prefix, name, le string) string {
+	if addr, field, ok := peerSeries(name); ok {
+		return fmt.Sprintf("%speer_%s_seconds_bucket{peer=%q,le=%q}",
+			prefix, sanitizeMetricName(field), escapeLabel(addr), le)
+	}
+	return fmt.Sprintf("%s%s_seconds_bucket{le=%q}", prefix, sanitizeMetricName(name), le)
+}
+
+// WritePrometheus renders every counter and histogram of the given sets in
+// the Prometheus text exposition format, metric names prefixed with
+// "teamnet_". Nil sets are skipped, so callers pass whatever subsets the
+// process actually keeps.
+func WritePrometheus(w io.Writer, counters []*CounterSet, hists []*HistogramSet) error {
+	const prefix = "teamnet_"
+	for _, cs := range counters {
+		if cs == nil {
+			continue
+		}
+		snap := cs.Snapshot()
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "%s %d\n", promName(prefix, name, "_total"), snap[name]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, hs := range hists {
+		if hs == nil {
+			continue
+		}
+		for _, name := range hs.Names() {
+			h := hs.Histogram(name)
+			bounds, cumCounts := h.cumulative()
+			for i, bound := range bounds {
+				le := fmt.Sprintf("%g", bound.Seconds())
+				if _, err := fmt.Fprintf(w, "%s %d\n", promBucketName(prefix, name, le), cumCounts[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", promBucketName(prefix, name, "+Inf"), h.Count()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %g\n", promName(prefix, name, "_seconds_sum"), h.Sum().Seconds()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", promName(prefix, name, "_seconds_count"), h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// JSON encoding of spans for the admin server's /traces endpoint. Trace and
+// span ids are emitted as 16-hex-digit strings, not numbers: uint64 does
+// not survive a round trip through JavaScript's float64 numbers, and every
+// tracing UI expects hex ids anyway.
+
+type spanJSON struct {
+	TraceID  string  `json:"trace_id"`
+	SpanID   string  `json:"span_id"`
+	ParentID string  `json:"parent_id,omitempty"`
+	Name     string  `json:"name"`
+	Node     string  `json:"node"`
+	Status   string  `json:"status"`
+	Start    string  `json:"start"`
+	Micros   float64 `json:"duration_us"`
+}
+
+func hexID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// MarshalJSON renders the span in the /traces wire shape.
+func (s Span) MarshalJSON() ([]byte, error) {
+	j := spanJSON{
+		TraceID: hexID(s.TraceID),
+		SpanID:  hexID(s.SpanID),
+		Name:    s.Name,
+		Node:    s.Node,
+		Status:  s.Status,
+		Start:   s.Start.Format(time.RFC3339Nano),
+		Micros:  float64(s.Duration) / float64(time.Microsecond),
+	}
+	if s.ParentID != 0 {
+		j.ParentID = hexID(s.ParentID)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON parses the /traces wire shape back into a Span.
+func (s *Span) UnmarshalJSON(data []byte) error {
+	var j spanJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	var err error
+	if s.TraceID, err = strconv.ParseUint(j.TraceID, 16, 64); err != nil {
+		return fmt.Errorf("trace: bad trace_id %q: %w", j.TraceID, err)
+	}
+	if s.SpanID, err = strconv.ParseUint(j.SpanID, 16, 64); err != nil {
+		return fmt.Errorf("trace: bad span_id %q: %w", j.SpanID, err)
+	}
+	if j.ParentID != "" {
+		if s.ParentID, err = strconv.ParseUint(j.ParentID, 16, 64); err != nil {
+			return fmt.Errorf("trace: bad parent_id %q: %w", j.ParentID, err)
+		}
+	}
+	s.Name, s.Node, s.Status = j.Name, j.Node, j.Status
+	if j.Start != "" {
+		if s.Start, err = time.Parse(time.RFC3339Nano, j.Start); err != nil {
+			return fmt.Errorf("trace: bad start %q: %w", j.Start, err)
+		}
+	}
+	s.Duration = time.Duration(j.Micros * float64(time.Microsecond))
+	return nil
+}

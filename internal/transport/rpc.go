@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // This file implements the RPC layer standing in for gRPC in the paper's
@@ -16,13 +17,28 @@ import (
 // TeamNet cluster protocol uses, mirroring the gRPC-vs-socket overhead gap
 // the paper measures.
 
-// RPC frame types.
+// RPC frame types. The traced variants carry a TraceContext in the request
+// envelope and the server-side handler duration in the response envelope;
+// they are separate frame types (not extra envelope fields) so the untraced
+// wire format is byte-identical to what pre-trace builds speak. A traced
+// request therefore requires a trace-aware server — see DESIGN.md §7 for
+// the compatibility matrix.
 const (
-	rpcRequest  byte = 1
-	rpcResponse byte = 2
+	rpcRequest        byte = 1
+	rpcResponse       byte = 2
+	rpcRequestTraced  byte = 3
+	rpcResponseTraced byte = 4
 )
 
 const rpcOK byte = 0
+
+// TraceContext is the cross-node span identity propagated in traced RPC
+// envelopes. Transport deliberately does not depend on internal/trace; the
+// cluster layer converts between the two identical shapes.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
 
 // Handler processes one RPC request body and returns the response body.
 type Handler func(req []byte) ([]byte, error)
@@ -31,6 +47,7 @@ type Handler func(req []byte) ([]byte, error)
 type RPCServer struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
+	onTraced func(method string, tc TraceContext, start time.Time, d time.Duration)
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
@@ -51,6 +68,16 @@ func (s *RPCServer) Register(method string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
+}
+
+// OnTraced installs a callback invoked after every traced request completes,
+// with the propagated trace context and the measured handler duration. The
+// cluster layer uses it to record server-side spans without transport
+// depending on the trace package. Pass nil to remove.
+func (s *RPCServer) OnTraced(fn func(method string, tc TraceContext, start time.Time, d time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onTraced = fn
 }
 
 // Listen binds the server to addr ("host:port"; use ":0" for an ephemeral
@@ -106,16 +133,26 @@ func (s *RPCServer) serveConn(conn io.ReadWriter) {
 		if err != nil {
 			return
 		}
-		if typ != rpcRequest {
+		if typ != rpcRequest && typ != rpcRequestTraced {
 			return
 		}
-		id, method, body, err := decodeRPCEnvelope(payload)
+		var tc TraceContext
+		var id uint64
+		var method string
+		var body []byte
+		if typ == rpcRequestTraced {
+			id, tc, method, body, err = decodeRPCEnvelopeTraced(payload)
+		} else {
+			id, method, body, err = decodeRPCEnvelope(payload)
+		}
 		if err != nil {
 			return
 		}
 		s.mu.Lock()
 		h := s.handlers[method]
+		onTraced := s.onTraced
 		s.mu.Unlock()
+		traced := typ == rpcRequestTraced
 		// Dispatch concurrently so slow methods don't head-of-line block
 		// the connection (gRPC-like semantics).
 		s.wg.Add(1)
@@ -123,6 +160,7 @@ func (s *RPCServer) serveConn(conn io.ReadWriter) {
 			defer s.wg.Done()
 			var status byte
 			var resp []byte
+			start := time.Now()
 			if h == nil {
 				status, resp = 1, []byte(fmt.Sprintf("unknown method %q", method))
 			} else if out, herr := h(body); herr != nil {
@@ -130,10 +168,23 @@ func (s *RPCServer) serveConn(conn io.ReadWriter) {
 			} else {
 				status, resp = rpcOK, out
 			}
-			env := encodeRPCResponse(id, status, resp)
+			elapsed := time.Since(start)
+			var env []byte
+			respType := rpcResponse
+			if traced {
+				// Echo the handler time so the client can split its round
+				// trip into network vs server compute.
+				respType = rpcResponseTraced
+				env = encodeRPCResponseTraced(id, status, elapsed, resp)
+				if onTraced != nil {
+					onTraced(method, tc, start, elapsed)
+				}
+			} else {
+				env = encodeRPCResponse(id, status, resp)
+			}
 			wmu.Lock()
 			defer wmu.Unlock()
-			_ = WriteFrame(conn, rpcResponse, env) // peer gone: drop
+			_ = WriteFrame(conn, respType, env) // peer gone: drop
 		}()
 	}
 }
@@ -172,6 +223,7 @@ type RPCClient struct {
 type rpcReply struct {
 	status byte
 	body   []byte
+	server time.Duration // handler time echoed by traced responses
 }
 
 // DialRPC connects to an RPCServer.
@@ -194,19 +246,29 @@ func (c *RPCClient) readLoop() {
 			c.failAll(err)
 			return
 		}
-		if typ != rpcResponse || len(payload) < 9 {
+		var reply rpcReply
+		var id uint64
+		switch {
+		case typ == rpcResponse && len(payload) >= 9:
+			id = binary.BigEndian.Uint64(payload[:8])
+			reply = rpcReply{status: payload[8], body: payload[9:]}
+		case typ == rpcResponseTraced && len(payload) >= 17:
+			id = binary.BigEndian.Uint64(payload[:8])
+			reply = rpcReply{
+				status: payload[8],
+				server: time.Duration(binary.BigEndian.Uint64(payload[9:17])),
+				body:   payload[17:],
+			}
+		default:
 			c.failAll(errors.New("transport: malformed rpc response"))
 			return
 		}
-		id := binary.BigEndian.Uint64(payload[:8])
-		status := payload[8]
-		body := payload[9:]
 		c.mu.Lock()
 		ch := c.calls[id]
 		delete(c.calls, id)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- rpcReply{status: status, body: body}
+			ch <- reply
 		}
 	}
 }
@@ -226,27 +288,51 @@ func (c *RPCClient) failAll(err error) {
 // Call invokes method with body and returns the response body. It blocks
 // until the server responds or the connection fails.
 func (c *RPCClient) Call(method string, body []byte) ([]byte, error) {
+	resp, _, err := c.call(rpcRequest, method, body, TraceContext{})
+	return resp, err
+}
+
+// CallTraced invokes method with body under the given trace context and
+// additionally returns the server-side handler duration, letting the caller
+// split its observed round trip into network and remote-compute time. The
+// server must be trace-aware (this build or later); old servers drop the
+// connection on the traced envelope. A zero TraceContext downgrades to a
+// plain Call.
+func (c *RPCClient) CallTraced(method string, body []byte, tc TraceContext) ([]byte, time.Duration, error) {
+	if tc.TraceID == 0 {
+		resp, err := c.Call(method, body)
+		return resp, 0, err
+	}
+	return c.call(rpcRequestTraced, method, body, tc)
+}
+
+func (c *RPCClient) call(frameType byte, method string, body []byte, tc TraceContext) ([]byte, time.Duration, error) {
 	ch := make(chan rpcReply, 1)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return nil, 0, err
 	}
 	c.nextID++
 	id := c.nextID
 	c.calls[id] = ch
 	c.mu.Unlock()
 
-	env := encodeRPCRequest(id, method, body)
+	var env []byte
+	if frameType == rpcRequestTraced {
+		env = encodeRPCRequestTraced(id, tc, method, body)
+	} else {
+		env = encodeRPCRequest(id, method, body)
+	}
 	c.wmu.Lock()
-	err := WriteFrame(c.conn, rpcRequest, env)
+	err := WriteFrame(c.conn, frameType, env)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.calls, id)
 		c.mu.Unlock()
-		return nil, err
+		return nil, 0, err
 	}
 	reply, ok := <-ch
 	if !ok {
@@ -256,12 +342,12 @@ func (c *RPCClient) Call(method string, body []byte) ([]byte, error) {
 		if err == nil {
 			err = errors.New("transport: rpc connection closed")
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	if reply.status != rpcOK {
-		return nil, fmt.Errorf("transport: rpc %s: %s", method, reply.body)
+		return nil, reply.server, fmt.Errorf("transport: rpc %s: %s", method, reply.body)
 	}
-	return reply.body, nil
+	return reply.body, reply.server, nil
 }
 
 // Close tears down the connection and waits for the reader.
@@ -279,6 +365,35 @@ func encodeRPCRequest(id uint64, method string, body []byte) []byte {
 	copy(buf[10:], method)
 	copy(buf[10+len(method):], body)
 	return buf
+}
+
+// encodeRPCRequestTraced lays out: 8-byte id, 8-byte trace id, 8-byte
+// parent span id, 2-byte method length, method, body.
+func encodeRPCRequestTraced(id uint64, tc TraceContext, method string, body []byte) []byte {
+	buf := make([]byte, 8+16+2+len(method)+len(body))
+	binary.BigEndian.PutUint64(buf, id)
+	binary.BigEndian.PutUint64(buf[8:], tc.TraceID)
+	binary.BigEndian.PutUint64(buf[16:], tc.SpanID)
+	binary.BigEndian.PutUint16(buf[24:], uint16(len(method)))
+	copy(buf[26:], method)
+	copy(buf[26+len(method):], body)
+	return buf
+}
+
+func decodeRPCEnvelopeTraced(payload []byte) (id uint64, tc TraceContext, method string, body []byte, err error) {
+	if len(payload) < 26 {
+		return 0, TraceContext{}, "", nil, errors.New("transport: traced rpc request too short")
+	}
+	id = binary.BigEndian.Uint64(payload[:8])
+	tc.TraceID = binary.BigEndian.Uint64(payload[8:16])
+	tc.SpanID = binary.BigEndian.Uint64(payload[16:24])
+	mlen := int(binary.BigEndian.Uint16(payload[24:26]))
+	if len(payload) < 26+mlen {
+		return 0, TraceContext{}, "", nil, errors.New("transport: traced rpc method truncated")
+	}
+	method = string(payload[26 : 26+mlen])
+	body = payload[26+mlen:]
+	return id, tc, method, body, nil
 }
 
 func decodeRPCEnvelope(payload []byte) (id uint64, method string, body []byte, err error) {
@@ -301,6 +416,17 @@ func encodeRPCResponse(id uint64, status byte, body []byte) []byte {
 	binary.BigEndian.PutUint64(buf, id)
 	buf[8] = status
 	copy(buf[9:], body)
+	return buf
+}
+
+// encodeRPCResponseTraced lays out: 8-byte id, 1-byte status, 8-byte
+// handler nanoseconds, body.
+func encodeRPCResponseTraced(id uint64, status byte, handler time.Duration, body []byte) []byte {
+	buf := make([]byte, 17+len(body))
+	binary.BigEndian.PutUint64(buf, id)
+	buf[8] = status
+	binary.BigEndian.PutUint64(buf[9:], uint64(handler))
+	copy(buf[17:], body)
 	return buf
 }
 

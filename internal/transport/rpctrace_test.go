@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRPCCallTracedRoundTrip: the traced envelope carries the trace context
+// to the server (observable via OnTraced) and echoes the measured handler
+// time back to the caller.
+func TestRPCCallTracedRoundTrip(t *testing.T) {
+	srv := NewRPCServer()
+	srv.Register("slow", func(req []byte) ([]byte, error) {
+		time.Sleep(5 * time.Millisecond)
+		return append([]byte("ok:"), req...), nil
+	})
+	var mu sync.Mutex
+	var gotMethod string
+	var gotTC TraceContext
+	var gotDur time.Duration
+	srv.OnTraced(func(method string, tc TraceContext, start time.Time, d time.Duration) {
+		mu.Lock()
+		gotMethod, gotTC, gotDur = method, tc, d
+		mu.Unlock()
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialRPC(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	tc := TraceContext{TraceID: 0xfeed, SpanID: 0xbeef}
+	resp, server, err := cli.CallTraced("slow", []byte("x"), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("ok:x")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if server < 5*time.Millisecond {
+		t.Fatalf("server-reported handler time %v < handler sleep", server)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotMethod != "slow" || gotTC != tc {
+		t.Fatalf("OnTraced saw method=%q tc=%+v", gotMethod, gotTC)
+	}
+	if gotDur < 5*time.Millisecond {
+		t.Fatalf("OnTraced duration %v < handler sleep", gotDur)
+	}
+}
+
+// TestRPCCallTracedZeroContextDowngrades: a zero context must use the plain
+// untraced envelope (wire-compatible with old servers), report no server
+// time, and not fire OnTraced.
+func TestRPCCallTracedZeroContextDowngrades(t *testing.T) {
+	srv := NewRPCServer()
+	srv.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	fired := false
+	srv.OnTraced(func(string, TraceContext, time.Time, time.Duration) { fired = true })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialRPC(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	resp, server, err := cli.CallTraced("echo", []byte("y"), TraceContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("y")) || server != 0 {
+		t.Fatalf("resp=%q server=%v; want plain-call behaviour", resp, server)
+	}
+	if fired {
+		t.Fatal("OnTraced fired for an untraced call")
+	}
+}
+
+// TestRPCMixedTracedAndPlainCalls interleaves both envelope kinds on one
+// connection: ids must not collide and each reply must route to its caller.
+func TestRPCMixedTracedAndPlainCalls(t *testing.T) {
+	srv := NewRPCServer()
+	srv.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialRPC(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte{byte(i)}
+			var resp []byte
+			var err error
+			if i%2 == 0 {
+				resp, _, err = cli.CallTraced("echo", msg, TraceContext{TraceID: uint64(i + 1), SpanID: 1})
+			} else {
+				resp, err = cli.Call("echo", msg)
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(resp, msg) {
+				errs <- bytes.ErrTooLarge // any sentinel: mismatch
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRPCTracedEnvelopeCodec unit-tests the traced envelope layouts.
+func TestRPCTracedEnvelopeCodec(t *testing.T) {
+	tc := TraceContext{TraceID: 123456789, SpanID: 987654321}
+	env := encodeRPCRequestTraced(42, tc, "predict", []byte("body"))
+	id, gotTC, method, body, err := decodeRPCEnvelopeTraced(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 || gotTC != tc || method != "predict" || string(body) != "body" {
+		t.Fatalf("round trip: id=%d tc=%+v method=%q body=%q", id, gotTC, method, body)
+	}
+	if _, _, _, _, err := decodeRPCEnvelopeTraced(env[:20]); err == nil {
+		t.Fatal("truncated traced envelope accepted")
+	}
+}
