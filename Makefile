@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fmt-check docs bench clean
+.PHONY: build test verify fmt-check docs bench bench-throughput clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ verify: fmt-check docs
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Closed-loop serial-vs-mux throughput comparison against a real pooled
+# worker over loopback; the JSON artifact records the pipelining speedup
+# (see docs/OPERATIONS.md).
+bench-throughput:
+	$(GO) run ./cmd/teamnet-bench -throughput -clients 8 -replicas 4 -duration 3s -out BENCH_throughput.json
 
 clean:
 	$(GO) clean ./...

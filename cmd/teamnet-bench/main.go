@@ -4,14 +4,21 @@
 // datasets for accuracy, the edgesim cost model over real FLOP and byte
 // counts for latency and resources).
 //
+// It also hosts the cluster-transport throughput benchmark: -throughput
+// drives a real master and pooled worker over loopback with closed-loop
+// clients, comparing the serial one-in-flight peer protocol against the
+// multiplexed pipeline (see DESIGN.md §8).
+//
 // Examples:
 //
 //	teamnet-bench -list
 //	teamnet-bench -experiment table1a
 //	teamnet-bench -all -scale full > results.txt
+//	teamnet-bench -throughput -clients 8 -replicas 4 -out BENCH_throughput.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,8 +44,27 @@ func run() error {
 		format     = flag.String("format", "text", "output format: text or csv")
 		plotsDir   = flag.String("plots", "", "also write SVG figures into this directory")
 		seed       = flag.Int64("seed", 42, "random seed")
+
+		throughput = flag.Bool("throughput", false, "run the closed-loop serial-vs-mux throughput benchmark")
+		clients    = flag.Int("clients", 8, "throughput: concurrent closed-loop clients")
+		replicas   = flag.Int("replicas", 4, "throughput: worker expert replicas")
+		batch      = flag.Int("batch", 4, "throughput: rows per query")
+		duration   = flag.Duration("duration", 2*time.Second, "throughput: measured window per mode")
+		netDelay   = flag.Duration("netdelay", 2*time.Millisecond, "throughput: one-way link delay (edge RTT model; negative = raw loopback)")
+		out        = flag.String("out", "", "throughput: also write the report as JSON to this file")
 	)
 	flag.Parse()
+
+	if *throughput {
+		return runThroughput(bench.ThroughputConfig{
+			Clients:  *clients,
+			Replicas: *replicas,
+			Batch:    *batch,
+			Duration: *duration,
+			NetDelay: *netDelay,
+			Seed:     *seed,
+		}, *out)
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {
@@ -87,6 +113,27 @@ func run() error {
 			continue
 		}
 		fmt.Printf("### %s (%s, %v)\n%s\n", id, bench.Describe(id), time.Since(start).Round(time.Millisecond), res)
+	}
+	return nil
+}
+
+// runThroughput runs the serial-vs-mux comparison, prints the text form,
+// and optionally records the JSON artifact.
+func runThroughput(cfg bench.ThroughputConfig, out string) error {
+	report, err := bench.RunThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	if out == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
 	}
 	return nil
 }

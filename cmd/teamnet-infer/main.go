@@ -110,6 +110,7 @@ func run() error {
 			return ok, healths
 		})
 		adm.AddCounters(master.Counters())
+		adm.AddGauges(master.Gauges())
 		adm.AddHistograms(master.Histograms())
 		adm.TracerFunc(master.Tracer)
 		bound, err := adm.Listen(*adminAddr)

@@ -39,6 +39,7 @@ type Server struct {
 	mu       sync.Mutex
 	healthFn func() (ok bool, detail any)
 	counters []*metrics.CounterSet
+	gauges   []*metrics.GaugeSet
 	hists    []*metrics.HistogramSet
 	tracerFn func() *trace.Tracer
 	srv      *http.Server
@@ -60,6 +61,13 @@ func (s *Server) HealthFunc(fn func() (ok bool, detail any)) {
 func (s *Server) AddCounters(cs ...*metrics.CounterSet) {
 	s.mu.Lock()
 	s.counters = append(s.counters, cs...)
+	s.mu.Unlock()
+}
+
+// AddGauges registers gauge sets for /metrics.
+func (s *Server) AddGauges(gs ...*metrics.GaugeSet) {
+	s.mu.Lock()
+	s.gauges = append(s.gauges, gs...)
 	s.mu.Unlock()
 }
 
@@ -148,10 +156,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	counters := append([]*metrics.CounterSet(nil), s.counters...)
+	gauges := append([]*metrics.GaugeSet(nil), s.gauges...)
 	hists := append([]*metrics.HistogramSet(nil), s.hists...)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	metrics.WritePrometheus(w, counters, hists)
+	metrics.WritePrometheus(w, counters, gauges, hists)
 }
 
 // tracesEntry is one trace in the /traces response.

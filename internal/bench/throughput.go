@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/chaos"
+	"github.com/teamnet/teamnet/internal/cluster"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Closed-loop multi-client throughput benchmark: the acceptance harness for
+// the multiplexed peer transport. Unlike the edgesim experiments (which
+// model the paper's single-query latency), this drives a REAL master and a
+// REAL pooled worker over real TCP with N closed-loop clients — each fires
+// its next query the moment the previous one answers — once over the serial
+// one-in-flight protocol (SetMux(false), the pre-mux wire behavior) and
+// once over the pipelined mux transport, and reports QPS plus latency
+// percentiles for both.
+//
+// The link between master and worker runs through the chaos proxy's
+// latency injector, because bare loopback has none of the physics the mux
+// transport exists for: TeamNet deploys over edge WiFi (paper §V), where
+// every round trip costs milliseconds. On such a link the serial protocol
+// caps throughput at one request per RTT no matter how many replicas the
+// worker pools, while the pipeline shares the RTT across every request in
+// its window — that gap is what this benchmark measures. NetDelay < 0
+// selects raw loopback for comparison.
+
+// ThroughputConfig sizes one serial-vs-mux comparison. Zero fields take the
+// defaults (8 clients, 4 replicas, batch 4, 2s per mode, 2ms injected
+// one-way link delay, seed 42).
+type ThroughputConfig struct {
+	Clients  int           // concurrent closed-loop clients
+	Replicas int           // worker expert replicas (mux concurrency ceiling)
+	Batch    int           // rows per query
+	Duration time.Duration // measured window per mode
+	NetDelay time.Duration // one-way link delay (edge RTT model); < 0 = raw loopback
+	Seed     int64
+}
+
+func (c ThroughputConfig) normalized() ThroughputConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 4
+	}
+	if c.Batch <= 0 {
+		c.Batch = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.NetDelay == 0 {
+		c.NetDelay = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// ThroughputResult is one mode's measured half of the comparison.
+type ThroughputResult struct {
+	Mode    string  `json:"mode"` // "serial" or "mux"
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	MeanMs  float64 `json:"mean_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+}
+
+// ThroughputReport pairs the two modes under identical load.
+type ThroughputReport struct {
+	Clients     int              `json:"clients"`
+	Replicas    int              `json:"replicas"`
+	Batch       int              `json:"batch"`
+	DurationSec float64          `json:"duration_sec"`
+	NetDelayMs  float64          `json:"net_delay_ms"` // injected one-way link delay
+	Serial      ThroughputResult `json:"serial"`
+	Mux         ThroughputResult `json:"mux"`
+	Speedup     float64          `json:"speedup"` // mux QPS / serial QPS
+}
+
+func (r *ThroughputReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "throughput: %d clients, %d replicas, batch %d, %.2fms one-way link delay, %.1fs per mode\n",
+		r.Clients, r.Replicas, r.Batch, r.NetDelayMs, r.DurationSec)
+	for _, m := range []ThroughputResult{r.Serial, r.Mux} {
+		fmt.Fprintf(&b, "  %-6s %7.1f qps  (%d queries; mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms)\n",
+			m.Mode, m.QPS, m.Queries, m.MeanMs, m.P50Ms, m.P95Ms, m.P99Ms)
+	}
+	fmt.Fprintf(&b, "  speedup %.2fx (mux over serial)", r.Speedup)
+	return b.String()
+}
+
+// throughputExpert builds one untrained paper-shaped MLP replica. Weights
+// are irrelevant to throughput; the FLOPs are real.
+func throughputExpert(seed int64) (*nn.Network, error) {
+	spec := nn.Spec{Kind: "mlp", MLP: &nn.MLPSpec{Label: "tp", Input: 64, Width: 128, Layers: 3, Classes: 10}}
+	return spec.Build(tensor.NewRNG(seed))
+}
+
+// RunThroughput measures the serial baseline first, then the mux pipeline,
+// each against a freshly pooled worker so no state carries over.
+func RunThroughput(cfg ThroughputConfig) (*ThroughputReport, error) {
+	cfg = cfg.normalized()
+	serial, err := runThroughputMode(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serial mode: %w", err)
+	}
+	mux, err := runThroughputMode(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mux mode: %w", err)
+	}
+	delay := cfg.NetDelay
+	if delay < 0 {
+		delay = 0
+	}
+	report := &ThroughputReport{
+		Clients:     cfg.Clients,
+		Replicas:    cfg.Replicas,
+		Batch:       cfg.Batch,
+		DurationSec: cfg.Duration.Seconds(),
+		NetDelayMs:  float64(delay.Microseconds()) / 1e3,
+		Serial:      serial,
+		Mux:         mux,
+	}
+	if serial.QPS > 0 {
+		report.Speedup = mux.QPS / serial.QPS
+	}
+	return report, nil
+}
+
+func runThroughputMode(cfg ThroughputConfig, mux bool) (ThroughputResult, error) {
+	replicas := make([]*nn.Network, cfg.Replicas)
+	for i := range replicas {
+		e, err := throughputExpert(cfg.Seed)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		replicas[i] = e
+	}
+	worker := cluster.NewWorkerPool(replicas, 1)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer worker.Close()
+
+	// The edge link: a latency-injecting proxy in front of the worker. The
+	// delay is charged per forwarded chunk, so back-to-back pipelined frames
+	// share one delay while serial round trips each pay their own — the same
+	// physics as a real high-RTT link.
+	if cfg.NetDelay > 0 {
+		proxy := chaos.New(addr, chaos.Fault{Mode: chaos.Latency, Delay: cfg.NetDelay})
+		addr, err = proxy.Listen("127.0.0.1:0")
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		defer proxy.Close()
+	}
+
+	// Peer-only master: the local expert would serialize on its own mutex
+	// and blur the transport comparison.
+	master := cluster.NewMaster(nil, 10)
+	defer master.Close()
+	if !mux {
+		master.SetMux(false)
+	}
+	master.SetTimeout(10 * time.Second)
+	if err := master.Connect(addr); err != nil {
+		return ThroughputResult{}, err
+	}
+
+	x := tensor.NewRNG(cfg.Seed+1).Randn(cfg.Batch, 64)
+	for i := 0; i < 3; i++ { // warmup: connections dialed, pools touched
+		if _, _, err := master.Infer(x); err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+
+	lats := make([][]time.Duration, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				qs := time.Now()
+				if _, _, err := master.Infer(x); err != nil {
+					errs[c] = err
+					return
+				}
+				lats[c] = append(lats[c], time.Since(qs))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return ThroughputResult{}, fmt.Errorf("no queries completed in %v", cfg.Duration)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	mode := "serial"
+	if mux {
+		mode = "mux"
+	}
+	return ThroughputResult{
+		Mode:    mode,
+		Queries: len(all),
+		QPS:     float64(len(all)) / elapsed.Seconds(),
+		MeanMs:  float64(sum.Microseconds()) / float64(len(all)) / 1e3,
+		P50Ms:   ms(percentile(all, 0.50)),
+		P95Ms:   ms(percentile(all, 0.95)),
+		P99Ms:   ms(percentile(all, 0.99)),
+	}, nil
+}
+
+// percentile reads q from a sorted latency slice (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

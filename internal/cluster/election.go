@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -43,6 +44,16 @@ func ElectLeader(myID int, peerAddrs []string) (isLeader bool, leaderID int, err
 	return leaderID == myID, leaderID, nil
 }
 
+// electionReply encodes this node's election id as 4 big-endian bytes.
+// Pre-fix builds replied a single byte, truncating ids ≥ 256 mod 256 —
+// electing the wrong leader and spuriously reporting duplicate ids;
+// probePeerID still accepts the 1-byte form from those workers.
+func electionReply(id int) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(id))
+	return b[:]
+}
+
 // probePeerID asks one worker for its election id.
 func probePeerID(addr string) (int, error) {
 	conn, err := transport.Dial(addr, electProbeTimeout)
@@ -60,8 +71,17 @@ func probePeerID(addr string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("cluster: election recv %s: %w", addr, err)
 	}
-	if typ != MsgElectionOK || len(payload) != 1 {
+	if typ != MsgElectionOK {
 		return 0, fmt.Errorf("cluster: election bad reply type %d from %s", typ, addr)
 	}
-	return int(payload[0]), nil
+	switch len(payload) {
+	case 4:
+		return int(binary.BigEndian.Uint32(payload)), nil
+	case 1:
+		// A pre-fix worker: its single byte is the id truncated mod 256 —
+		// accepted for compatibility, correct for ids < 256.
+		return int(payload[0]), nil
+	default:
+		return 0, fmt.Errorf("cluster: election reply %d bytes from %s, want 4 (or legacy 1)", len(payload), addr)
+	}
 }

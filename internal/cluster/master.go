@@ -52,12 +52,14 @@ type Master struct {
 	localMu  sync.Mutex  // nn.Network is single-goroutine; Infer may not be
 	classes  int
 	counters *metrics.CounterSet
+	gauges   *metrics.GaugeSet
 	hists    *metrics.HistogramSet
 	tracer   *tracerRef
 
 	mu      sync.Mutex
 	timeout time.Duration // per-round-trip deadline; 0 = none
 	sup     SupervisorConfig
+	muxOff  bool // SetMux(false): force the serial one-in-flight protocol
 	peers   []*peerConn
 	done    chan struct{} // closed by Close; stops retries and probes
 	closed  bool
@@ -68,21 +70,28 @@ type Master struct {
 type peerConn struct {
 	addr     string
 	counters *metrics.CounterSet
+	gauges   *metrics.GaugeSet
 	hists    *metrics.HistogramSet
 	trc      *tracerRef
 	done     <-chan struct{}
 	wg       *sync.WaitGroup
 
-	mu      sync.Mutex // one in-flight request per peer connection
+	mu      sync.Mutex // serial protocol: one in-flight request per conn
 	conn    net.Conn
 	timeout time.Duration
 
-	stateMu sync.Mutex // guards the supervision state machine
-	cfg     SupervisorConfig
-	state   PeerState
-	fails   int
-	probing bool
-	closed  bool
+	muxMu sync.Mutex // guards the pipelined mux client (see mux.go)
+	muxc  *muxClient
+
+	stateMu    sync.Mutex // guards the supervision state machine
+	cfg        SupervisorConfig
+	state      PeerState
+	fails      int
+	probing    bool
+	closed     bool
+	serialOnly bool // sticky downgrade: the peer is a pre-mux build
+	muxProven  bool // the peer has answered on the mux protocol
+	muxOff     bool // master-level SetMux(false)
 }
 
 // NewMaster returns a master with an optional local expert. classes is the
@@ -92,6 +101,7 @@ func NewMaster(local *nn.Network, classes int) *Master {
 		local:    local,
 		classes:  classes,
 		counters: metrics.NewCounterSet(),
+		gauges:   metrics.NewGaugeSet(),
 		hists:    metrics.NewHistogramSet(),
 		tracer:   &tracerRef{},
 		sup:      DefaultSupervisorConfig(),
@@ -114,6 +124,27 @@ func (m *Master) Tracer() *trace.Tracer { return m.tracer.get() }
 // "peer.<addr>.rtt" / "peer.<addr>.compute" / "peer.<addr>.ping" /
 // "peer.<addr>.probe" series.
 func (m *Master) Histograms() *metrics.HistogramSet { return m.hists }
+
+// Gauges exposes the master's level metrics: "mux.inflight" (requests
+// currently pipelined across all peer links) and "mux.queue_depth"
+// (requests waiting for an in-flight window slot).
+func (m *Master) Gauges() *metrics.GaugeSet { return m.gauges }
+
+// SetMux enables (the default) or disables the multiplexed peer transport.
+// Disabled, every peer round trip uses the serial one-in-flight protocol —
+// the pre-mux wire behavior, kept for interop drills and as the benchmark
+// baseline. Affects peers connected before and after the call; requests
+// already pipelined complete on the mux link.
+func (m *Master) SetMux(enabled bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.muxOff = !enabled
+	for _, p := range m.peers {
+		p.stateMu.Lock()
+		p.muxOff = !enabled
+		p.stateMu.Unlock()
+	}
+}
 
 // SetTimeout bounds every subsequent per-peer round trip. A worker that
 // exceeds the deadline fails that inference instead of wedging the master —
@@ -166,6 +197,7 @@ func (m *Master) Connect(addr string) error {
 	p := &peerConn{
 		addr:     addr,
 		counters: m.counters,
+		gauges:   m.gauges,
 		hists:    m.hists,
 		trc:      m.tracer,
 		done:     m.done,
@@ -174,6 +206,7 @@ func (m *Master) Connect(addr string) error {
 		timeout:  timeout,
 		cfg:      cfg,
 		state:    PeerHealthy,
+		muxOff:   m.muxOff,
 	}
 	m.peers = append(m.peers, p)
 	return nil
@@ -446,6 +479,7 @@ func (m *Master) Close() error {
 	var firstErr error
 	for _, p := range peers {
 		p.markClosed()
+		p.closeMux()
 		p.mu.Lock()
 		if p.conn != nil {
 			if err := p.conn.Close(); err != nil && firstErr == nil {

@@ -1,0 +1,470 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/chaos"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// Mux transport tests: the tentpole of the concurrent-inference PR. The
+// serial protocol allowed one in-flight request per peer link; these tests
+// pin the pipelined replacement — many concurrent Infers share one link,
+// results match the serial path bit-for-bit, link death fails every pending
+// request fast while feeding the breaker exactly once, and mixed-version
+// fleets (old master or old worker) keep working. All run under -race via
+// the verify target.
+
+// pooledWorker starts a worker with n identical expert replicas.
+func pooledWorker(t *testing.T, seed int64, id, n int) (*Worker, string) {
+	t.Helper()
+	replicas := make([]*nn.Network, n)
+	for i := range replicas {
+		replicas[i] = tinyExpert(t, seed) // same seed: identical weights
+	}
+	w := NewWorkerPool(replicas, id)
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, addr
+}
+
+// TestMuxConcurrentInfer is the acceptance check for the pipeline: many
+// goroutines drive Infer and InferBestEffort through one mux link against a
+// pooled worker, every result matches the serial protocol's answer, the
+// worker demonstrably served over mux, and the in-flight gauge drains back
+// to zero.
+func TestMuxConcurrentInfer(t *testing.T) {
+	worker, addr := pooledWorker(t, 90, 1, 4)
+
+	// Reference answer via the serial protocol (SetMux(false) is the
+	// pre-mux wire behavior).
+	serial := NewMaster(tinyExpert(t, 91), 3)
+	serial.SetMux(false)
+	if err := serial.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(92).Randn(3, 4)
+	wantProbs, wantWinners, err := serial.Infer(x)
+	serial.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worker.Counters().Counter("requests.mux").Value() != 0 {
+		t.Fatal("serial-mode master reached the worker over mux")
+	}
+
+	master := NewMaster(tinyExpert(t, 91), 3)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, rounds = 16, 5
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var probs *tensor.Tensor
+				var winners []int
+				var err error
+				if g%2 == 0 {
+					probs, winners, err = master.Infer(x)
+				} else {
+					var live int
+					probs, winners, live, err = master.InferBestEffort(x)
+					if err == nil && live != 2 {
+						t.Errorf("live = %d, want 2", live)
+					}
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for b := 0; b < x.Shape[0]; b++ {
+					if winners[b] != wantWinners[b] {
+						t.Errorf("winners[%d] = %d over mux, %d over serial", b, winners[b], wantWinners[b])
+						return
+					}
+					if !bytes.Equal(transport.EncodeTensor(probs), transport.EncodeTensor(wantProbs)) {
+						t.Error("mux probs differ from serial probs")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent infer over mux: %v", err)
+	}
+
+	if got := worker.Counters().Counter("requests.mux").Value(); got < goroutines*rounds {
+		t.Fatalf("worker served %d mux requests, want ≥ %d", got, goroutines*rounds)
+	}
+	if d := master.Counters().Counter("peer." + addr + ".mux_downgrades").Value(); d != 0 {
+		t.Fatalf("healthy new worker was downgraded %d times", d)
+	}
+	// The pipeline drained: nothing in flight, nothing queued.
+	if v := master.Gauges().Gauge("mux.inflight").Value(); v != 0 {
+		t.Fatalf("mux.inflight = %d after drain, want 0", v)
+	}
+	if v := master.Gauges().Gauge("mux.queue_depth").Value(); v != 0 {
+		t.Fatalf("mux.queue_depth = %d after drain, want 0", v)
+	}
+}
+
+// TestMuxLinkDeathFailsPendingAndTripsOnce kills a link mid-pipeline: after
+// a proven warmup query the chaos proxy resets every chunk, and a burst of
+// concurrent Infers must all fail fast — one link death is one breaker
+// strike no matter how many requests were pending, so trips lands at
+// exactly 1.
+func TestMuxLinkDeathFailsPendingAndTripsOnce(t *testing.T) {
+	proxy, sick := chaosWorker(t, 93, 1)
+
+	master := NewMaster(nil, 3) // peer-only: a dead link fails Infer outright
+	defer master.Close()
+	master.SetSupervisor(SupervisorConfig{
+		MaxRetries:       0,
+		FailureThreshold: 1,
+		DialTimeout:      time.Second,
+		RetryBackoff:     &transport.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		// Probe far beyond the test horizon: the breaker must stay open so
+		// the trip count is unambiguous.
+		ProbeBackoff: &transport.Backoff{Base: 30 * time.Second, Max: 30 * time.Second},
+	})
+	master.SetTimeout(500 * time.Millisecond)
+	if err := master.Connect(sick); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warmup proves the mux link, so the coming link death reads as a fault,
+	// never as a pre-mux downgrade.
+	x := tensor.NewRNG(94).Randn(1, 4)
+	if _, _, err := master.Infer(x); err != nil {
+		t.Fatalf("warmup through transparent proxy: %v", err)
+	}
+
+	proxy.SetPlan(chaos.Fault{Mode: chaos.Reset, Prob: 1})
+	const pending = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, pending)
+	for i := 0; i < pending; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = master.Infer(x)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("query %d succeeded across a dead link", i)
+		}
+	}
+	// Fail-fast: the first error tears the pipeline down and fans out to
+	// every waiter; nobody sits out a full per-request timeout chain.
+	if elapsed > 3*time.Second {
+		t.Fatalf("%d pending queries took %v to fail", pending, elapsed)
+	}
+	h := master.Health()[0]
+	if h.Trips != 1 {
+		t.Fatalf("breaker tripped %d times for one link death, want 1: %+v", h.Trips, h)
+	}
+	if h.State != PeerOpen {
+		t.Fatalf("peer state %s after link death, want open", h.State)
+	}
+	if d := master.Counters().Counter("peer." + sick + ".mux_downgrades").Value(); d != 0 {
+		t.Fatalf("proven mux peer was downgraded %d times by a link fault", d)
+	}
+}
+
+// oldWorker is a minimal pre-mux build: serial MsgPredict/MsgPing/
+// MsgElection only, and — like every pre-mux serveConn — it answers unknown
+// frame types with a serial MsgError and hangs up.
+func oldWorker(t *testing.T, electionID int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					typ, payload, err := transport.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					switch typ {
+					case MsgPing:
+						transport.WriteFrame(conn, MsgPong, nil) //nolint:errcheck
+					case MsgElection:
+						// The pre-fix bug: the id truncated to one byte.
+						transport.WriteFrame(conn, MsgElectionOK, []byte{byte(electionID)}) //nolint:errcheck
+					case MsgPredict:
+						x, _, derr := transport.DecodeTensor(payload)
+						if derr != nil {
+							transport.WriteFrame(conn, MsgError, []byte(derr.Error())) //nolint:errcheck
+							return
+						}
+						probs := tensor.New(x.Shape[0], 3)
+						ent := make([]float64, x.Shape[0])
+						for b := 0; b < x.Shape[0]; b++ {
+							probs.RowSlice(b)[0] = 1
+							ent[b] = 0.5
+						}
+						res := EncodeResult(PredictResult{Probs: probs, Entropy: ent})
+						if err := transport.WriteFrame(conn, MsgResult, res); err != nil {
+							return
+						}
+					default:
+						transport.WriteFrame(conn, MsgError, []byte("unknown frame type")) //nolint:errcheck
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestMuxDowngradeStickyOnOldWorker: a new master's first mux frame to a
+// pre-mux worker draws a serial MsgError — the peer must sticky-downgrade
+// to the serial protocol (counted once), every query must succeed anyway,
+// and the breaker must never be fed for the downgrade.
+func TestMuxDowngradeStickyOnOldWorker(t *testing.T) {
+	addr := oldWorker(t, 1)
+
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(95).Randn(2, 4)
+	for i := 0; i < 3; i++ {
+		probs, _, err := master.Infer(x)
+		if err != nil {
+			t.Fatalf("query %d against old worker: %v", i, err)
+		}
+		if probs.Shape[0] != 2 {
+			t.Fatalf("query %d: bad shape %v", i, probs.Shape)
+		}
+	}
+	if d := master.Counters().Counter("peer." + addr + ".mux_downgrades").Value(); d != 1 {
+		t.Fatalf("downgrades = %d, want exactly 1 (sticky: no re-probing)", d)
+	}
+	h := master.Health()[0]
+	if h.State != PeerHealthy || h.Failures != 0 || h.Trips != 0 {
+		t.Fatalf("downgrade fed the breaker: %+v", h)
+	}
+}
+
+// TestMuxStaleAdoptedConnNoDowngrade reproduces a worker restarting between
+// the master's eager Connect and its first query: the first mux frame dies
+// on the stale adopted socket with a silent close. That close must NOT read
+// as "pre-mux build" — it is a link fault, the retry redials fresh, the
+// restarted worker answers over mux, and the peer keeps the pipelined
+// protocol instead of sticky-downgrading to serial.
+func TestMuxStaleAdoptedConnNoDowngrade(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	w1 := NewWorkerPool([]*nn.Network{tinyExpert(t, 102)}, 1)
+	if _, err := w1.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	master.SetTimeout(2 * time.Second)
+	if err := master.Connect(addr); err != nil { // eager dial: the soon-stale socket
+		t.Fatal(err)
+	}
+
+	w1.Close() // restart: same address, new process, master's socket now dead
+	w2 := NewWorkerPool([]*nn.Network{tinyExpert(t, 102)}, 1)
+	if _, err := w2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+
+	x := tensor.NewRNG(103).Randn(1, 4)
+	if _, _, err := master.Infer(x); err != nil {
+		t.Fatalf("first query after worker restart: %v", err)
+	}
+	if d := master.Counters().Counter("peer." + addr + ".mux_downgrades").Value(); d != 0 {
+		t.Fatalf("stale adopted socket downgraded a mux-capable peer %d times", d)
+	}
+	if got := w2.Counters().Counter("requests.mux").Value(); got == 0 {
+		t.Fatal("restarted worker never served over mux: peer fell back to serial")
+	}
+	h := master.Health()[0]
+	if h.State != PeerHealthy || h.Trips != 0 {
+		t.Fatalf("peer did not recover cleanly: %+v", h)
+	}
+}
+
+// TestOldMasterRawSerialAgainstNewWorker drives the other interop
+// direction with a literal pre-mux client: raw serial MsgPredict frames,
+// one in flight, against the new worker. The wire answer must be the
+// classic MsgResult, and the worker must never count a mux request.
+func TestOldMasterRawSerialAgainstNewWorker(t *testing.T) {
+	worker, addr := pooledWorker(t, 96, 1, 2)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	x := tensor.NewRNG(97).Randn(2, 4)
+	for i := 0; i < 3; i++ {
+		if err := transport.WriteFrame(conn, MsgPredict, transport.EncodeTensor(x)); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := transport.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != MsgResult {
+			t.Fatalf("reply type %d, want MsgResult", typ)
+		}
+		res, err := DecodeResult(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Probs.Shape[0] != 2 || len(res.Entropy) != 2 {
+			t.Fatalf("bad result %v / %d entropies", res.Probs.Shape, len(res.Entropy))
+		}
+	}
+	if got := worker.Counters().Counter("requests.mux").Value(); got != 0 {
+		t.Fatalf("serial client triggered %d mux requests", got)
+	}
+
+	// And a whole SetMux(false) master — the supported serial-mode switch —
+	// against the same new worker.
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	master.SetMux(false)
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := master.Infer(x); err != nil {
+		t.Fatalf("serial-mode master against new worker: %v", err)
+	}
+	if got := worker.Counters().Counter("requests.mux").Value(); got != 0 {
+		t.Fatalf("SetMux(false) master triggered %d mux requests", got)
+	}
+}
+
+// panicConn is a net.Conn stub whose read side replays canned frames and
+// whose write side panics — the hostile case the per-connection recover
+// must contain.
+type panicConn struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (c *panicConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	return c.buf.Read(p)
+}
+
+func (c *panicConn) Write(p []byte) (int, error) { panic("write side blew up") }
+func (c *panicConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+func (c *panicConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *panicConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *panicConn) SetDeadline(t time.Time) error      { return nil }
+func (c *panicConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *panicConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestWorkerRecoversConnPanic: a panic escaping the serial serve path must
+// be recovered by handleConn — counted, fatal only to that connection.
+func TestWorkerRecoversConnPanic(t *testing.T) {
+	w := NewWorker(tinyExpert(t, 98), 1)
+	conn := &panicConn{}
+	if err := transport.WriteFrame(&conn.buf, MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	w.wg.Add(1)
+	w.handleConn(conn) // ping reply → Write panics → recover
+	if got := w.Counters().Counter("panics.recovered").Value(); got != 1 {
+		t.Fatalf("panics.recovered = %d, want 1", got)
+	}
+	if !conn.closed {
+		t.Fatal("panicking connection left open")
+	}
+
+	// The worker still serves: the panic cost one connection, not the node.
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := master.Infer(tensor.NewRNG(99).Randn(1, 4)); err != nil {
+		t.Fatalf("worker stopped serving after a recovered panic: %v", err)
+	}
+}
+
+// TestWorkerRecoversMuxHandlerPanic: the same containment for the
+// concurrent mux handlers — each dispatch goroutine recovers, counts, and
+// poisons only its own connection.
+func TestWorkerRecoversMuxHandlerPanic(t *testing.T) {
+	w := NewWorker(tinyExpert(t, 100), 1)
+	conn := &panicConn{}
+	x := tensor.NewRNG(101).Randn(1, 4)
+	payload := appendMuxID(7, transport.EncodeTensor(x))
+	if err := transport.WriteFrame(&conn.buf, MsgPredictMux, payload); err != nil {
+		t.Fatal(err)
+	}
+	w.wg.Add(1)
+	w.handleConn(conn)
+	w.wg.Wait() // the mux handler goroutine panics writing its reply
+	if got := w.Counters().Counter("panics.recovered").Value(); got != 1 {
+		t.Fatalf("panics.recovered = %d, want 1", got)
+	}
+	if !conn.closed {
+		t.Fatal("panicking mux connection left open")
+	}
+}

@@ -25,6 +25,7 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"github.com/teamnet/teamnet/internal/tensor"
@@ -48,7 +49,33 @@ const (
 	MsgCoordinator
 	// MsgError reports a worker-side failure as text.
 	MsgError
+	// MsgPredictMux / MsgResultMux / MsgErrorMux are the multiplexed
+	// variants of MsgPredict / MsgResult / MsgError: the payload carries a
+	// 4-byte big-endian request id ahead of the regular encoding, so many
+	// concurrent queries share one TCP connection per peer and replies may
+	// return out of order (see mux.go and DESIGN.md §8).
+	MsgPredictMux
+	MsgResultMux
+	MsgErrorMux
 )
+
+// muxIDSize is the request-id prefix every mux payload carries.
+const muxIDSize = 4
+
+// appendMuxID prefixes payload with a request id, forming a mux payload.
+func appendMuxID(id uint32, payload []byte) []byte {
+	out := make([]byte, muxIDSize, muxIDSize+len(payload))
+	binary.BigEndian.PutUint32(out, id)
+	return append(out, payload...)
+}
+
+// splitMuxID strips the request-id prefix from a mux payload.
+func splitMuxID(payload []byte) (id uint32, rest []byte, err error) {
+	if len(payload) < muxIDSize {
+		return 0, nil, fmt.Errorf("cluster: mux payload %d bytes, need id prefix", len(payload))
+	}
+	return binary.BigEndian.Uint32(payload), payload[muxIDSize:], nil
+}
 
 // PredictResult is one node's answer for a batch: class probabilities and
 // the predictive entropy per sample.

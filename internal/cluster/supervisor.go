@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -418,6 +419,11 @@ type attemptTiming struct {
 // the breaker on every outcome. Worker-reported errors (MsgError) come from
 // a live peer and are returned immediately without punishing it.
 //
+// The round trip normally rides the multiplexed pipeline (mux.go), so
+// concurrent Infer calls share one connection per peer instead of
+// serializing; a peer that turns out to be a pre-mux build is sticky-
+// downgraded and the request transparently retries on the serial protocol.
+//
 // parent is the query's root span context; each peer round trip records a
 // "peer <addr>" span beneath it with dial / backoff / network / compute
 // children, and every successful attempt lands in the peer's rtt (and,
@@ -430,7 +436,16 @@ func (p *peerConn) do(payload []byte, parent trace.Context) (PredictResult, erro
 		return PredictResult{}, errPeerQuarantined{addr: p.addr, state: p.State()}
 	}
 	sp := tr.Start(parent, "peer "+p.addr)
-	res, err := p.doAttempts(cfg, tr, sp.Ctx(), payload)
+	var res PredictResult
+	var err error
+	if p.muxEligible() {
+		res, err = p.muxAttempts(cfg, tr, sp.Ctx(), payload)
+		if errors.Is(err, errMuxUnsupported) {
+			res, err = p.doAttempts(cfg, tr, sp.Ctx(), payload)
+		}
+	} else {
+		res, err = p.doAttempts(cfg, tr, sp.Ctx(), payload)
+	}
 	sp.EndErr(err)
 	return res, err
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -107,37 +108,49 @@ func TestTraceOldWorkerInterop(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
+	// Like every pre-mux build, the fake rejects unknown frame types with a
+	// serial MsgError and hangs up — which is exactly what the new master's
+	// first MsgPredictMux probe receives, downgrading the peer to serial —
+	// and keeps accepting, so the downgraded master can redial.
 	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		defer conn.Close()
 		for {
-			typ, payload, err := transport.ReadFrame(conn)
+			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			if typ == MsgPing {
-				transport.WriteFrame(conn, MsgPong, nil) //nolint:errcheck
-				continue
-			}
-			// Old decoder: consume the tensor, ignore whatever follows
-			// (that "whatever" is the new trace trailer).
-			x, _, err := transport.DecodeTensor(payload)
-			if err != nil {
-				transport.WriteFrame(conn, MsgError, []byte(err.Error())) //nolint:errcheck
-				return
-			}
-			probs := tensor.New(x.Shape[0], 3)
-			for b := 0; b < x.Shape[0]; b++ {
-				probs.RowSlice(b)[0] = 1
-			}
-			res := PredictResult{Probs: probs, Entropy: make([]float64, x.Shape[0])}
-			// No timing trailer: pre-trace wire format.
-			if err := transport.WriteFrame(conn, MsgResult, EncodeResult(res)); err != nil {
-				return
-			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					typ, payload, err := transport.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					if typ == MsgPing {
+						transport.WriteFrame(conn, MsgPong, nil) //nolint:errcheck
+						continue
+					}
+					if typ != MsgPredict {
+						transport.WriteFrame(conn, MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ))) //nolint:errcheck
+						return
+					}
+					// Old decoder: consume the tensor, ignore whatever follows
+					// (that "whatever" is the new trace trailer).
+					x, _, err := transport.DecodeTensor(payload)
+					if err != nil {
+						transport.WriteFrame(conn, MsgError, []byte(err.Error())) //nolint:errcheck
+						return
+					}
+					probs := tensor.New(x.Shape[0], 3)
+					for b := 0; b < x.Shape[0]; b++ {
+						probs.RowSlice(b)[0] = 1
+					}
+					res := PredictResult{Probs: probs, Entropy: make([]float64, x.Shape[0])}
+					// No timing trailer: pre-trace wire format.
+					if err := transport.WriteFrame(conn, MsgResult, EncodeResult(res)); err != nil {
+						return
+					}
+				}
+			}(conn)
 		}
 	}()
 

@@ -15,10 +15,12 @@ import (
 
 // Worker serves one TeamNet expert over raw TCP: the edge-node role of
 // Figure 1(d). It answers MsgPredict frames with MsgResult frames carrying
-// probabilities and predictive entropies, and responds to pings and
-// election traffic.
+// probabilities and predictive entropies, answers pipelined MsgPredictMux
+// frames concurrently — dispatching onto the replica pool and writing
+// replies out of order under a per-connection write lock — and responds to
+// pings and election traffic.
 //
-// Every MsgResult carries the measured expert compute time as a trailing
+// Every result carries the measured expert compute time as a trailing
 // timing trailer (see tracewire.go), so the master can split its observed
 // round trip into network and compute; requests that arrive with a trace
 // trailer additionally record a "worker.predict" span — under the
@@ -113,20 +115,54 @@ func (w *Worker) acceptLoop(ln net.Listener) {
 		w.conns[conn] = struct{}{}
 		w.mu.Unlock()
 		w.wg.Add(1)
-		go func() {
-			defer w.wg.Done()
-			defer func() {
-				conn.Close()
-				w.mu.Lock()
-				delete(w.conns, conn)
-				w.mu.Unlock()
-			}()
-			w.serveConn(conn)
-		}()
+		go w.handleConn(conn)
 	}
 }
 
+// handleConn is the per-connection serving goroutine. The recover is the
+// worker's last line of defense: serveConn promises that a malformed
+// request costs one error frame, but a panic escaping the predict recover
+// (decode, trace or encode paths) must cost only this connection — never
+// the serving process.
+func (w *Worker) handleConn(conn net.Conn) {
+	defer w.wg.Done()
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			w.counters.Counter("panics.recovered").Inc()
+		}
+	}()
+	w.serveConn(conn)
+}
+
+// workerMuxWindow bounds the mux requests one connection may have in
+// flight on the worker: the read loop blocks past it, so a flooding client
+// gets TCP backpressure instead of unbounded handler goroutines. (Compute
+// parallelism is separately bounded by the replica pool.)
+const workerMuxWindow = 64
+
+// connWriter serializes frame writes on one connection: the serial read
+// loop and the concurrent mux handlers interleave whole frames, never
+// bytes.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (cw *connWriter) write(typ byte, payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return transport.WriteFrame(cw.conn, typ, payload)
+}
+
 func (w *Worker) serveConn(conn net.Conn) {
+	cw := &connWriter{conn: conn}
+	sem := make(chan struct{}, workerMuxWindow)
 	for {
 		typ, payload, err := transport.ReadFrame(conn)
 		if err != nil {
@@ -135,54 +171,108 @@ func (w *Worker) serveConn(conn net.Conn) {
 		switch typ {
 		case MsgPredict:
 			w.counters.Counter("requests").Inc()
-			x, used, err := transport.DecodeTensor(payload)
-			if err != nil {
-				_ = transport.WriteFrame(conn, MsgError, []byte(err.Error()))
+			result, errText, decodeFailed := w.runPredict(payload)
+			if decodeFailed {
+				_ = cw.write(MsgError, []byte(errText))
 				return
 			}
-			// Trace context rides as a trailer after the tensor; absent on
-			// untraced masters and pre-trace builds.
-			ctx := extractTraceContext(payload[used:])
-			start := time.Now()
-			res, perr := w.predict(x)
-			compute := time.Since(start)
-			w.hists.Observe("predict", compute)
-			if ctx.Valid() {
-				status := ""
-				if perr != nil {
-					status = trace.StatusError
-				}
-				w.tracer.get().Record(ctx, "worker.predict", "", status, start, compute)
-			}
-			if perr != nil {
+			if errText != "" {
 				// A malformed tensor that panics inside the NN must cost
 				// one MsgError, never the serving goroutine: answer and
 				// keep the connection alive for the next request.
-				if err := transport.WriteFrame(conn, MsgError, []byte(perr.Error())); err != nil {
+				if err := cw.write(MsgError, []byte(errText)); err != nil {
 					return
 				}
 				continue
 			}
-			// The compute-time trailer is always appended — old masters
-			// ignore it, new ones use it for the network/compute split.
-			if err := transport.WriteFrame(conn, MsgResult, appendComputeTime(EncodeResult(res), compute)); err != nil {
+			if err := cw.write(MsgResult, result); err != nil {
 				return
 			}
+		case MsgPredictMux:
+			w.counters.Counter("requests").Inc()
+			w.counters.Counter("requests.mux").Inc()
+			id, body, err := splitMuxID(payload)
+			if err != nil {
+				// No request id to address a mux error to: the stream is
+				// unusable, answer serially and drop the connection.
+				_ = cw.write(MsgError, []byte(err.Error()))
+				return
+			}
+			// Dispatch concurrently onto the replica pool; the semaphore
+			// bounds handlers per connection, replies write out of order
+			// under the connection's write lock.
+			sem <- struct{}{}
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				defer func() { <-sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						w.counters.Counter("panics.recovered").Inc()
+						conn.Close() // a panicking handler poisons only this connection
+					}
+				}()
+				w.serveMuxPredict(cw, id, body)
+			}()
 		case MsgPing:
-			if err := transport.WriteFrame(conn, MsgPong, nil); err != nil {
+			if err := cw.write(MsgPong, nil); err != nil {
 				return
 			}
 		case MsgElection:
 			// Bully: any node hearing an election from a lower id answers
 			// OK (it will run its own election).
-			if err := transport.WriteFrame(conn, MsgElectionOK, []byte{byte(w.id)}); err != nil {
+			if err := cw.write(MsgElectionOK, electionReply(w.id)); err != nil {
 				return
 			}
 		default:
-			_ = transport.WriteFrame(conn, MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ)))
+			_ = cw.write(MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ)))
 			return
 		}
 	}
+}
+
+// serveMuxPredict answers one pipelined request with the matching
+// MsgResultMux / MsgErrorMux frame. Unlike the serial path, a decode error
+// never drops the connection — the frame boundary is intact and other
+// requests are pipelined behind it.
+func (w *Worker) serveMuxPredict(cw *connWriter, id uint32, body []byte) {
+	result, errText, _ := w.runPredict(body)
+	if errText != "" {
+		_ = cw.write(MsgErrorMux, appendMuxID(id, []byte(errText)))
+		return
+	}
+	_ = cw.write(MsgResultMux, appendMuxID(id, result))
+}
+
+// runPredict decodes one predict body (tensor plus optional trace
+// trailer), runs a pooled expert replica on it, and returns the encoded
+// result payload — or an error message, with decodeFailed distinguishing
+// an undecodable body from a failed prediction.
+func (w *Worker) runPredict(body []byte) (result []byte, errText string, decodeFailed bool) {
+	x, used, err := transport.DecodeTensor(body)
+	if err != nil {
+		return nil, err.Error(), true
+	}
+	// Trace context rides as a trailer after the tensor; absent on
+	// untraced masters and pre-trace builds.
+	ctx := extractTraceContext(body[used:])
+	start := time.Now()
+	res, perr := w.predict(x)
+	compute := time.Since(start)
+	w.hists.Observe("predict", compute)
+	if ctx.Valid() {
+		status := ""
+		if perr != nil {
+			status = trace.StatusError
+		}
+		w.tracer.get().Record(ctx, "worker.predict", "", status, start, compute)
+	}
+	if perr != nil {
+		return nil, perr.Error(), false
+	}
+	// The compute-time trailer is always appended — old masters ignore it,
+	// new ones use it for the network/compute split.
+	return appendComputeTime(EncodeResult(res), compute), "", false
 }
 
 // predict runs one pooled expert replica on x (step 3 of Fig 1d) and pairs

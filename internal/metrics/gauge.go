@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is an instantaneous level safe for concurrent use — the value goes
+// up and down, unlike a Counter. The mux transport reports its in-flight
+// request count and window queue depth through gauges, so a scrape shows
+// the pipeline's current pressure rather than a lifetime total. The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GaugeSet is a named collection of gauges, created on first use — the
+// level-metric sibling of CounterSet. Safe for concurrent use.
+type GaugeSet struct {
+	mu sync.Mutex
+	m  map[string]*Gauge
+}
+
+// NewGaugeSet returns an empty set.
+func NewGaugeSet() *GaugeSet {
+	return &GaugeSet{m: make(map[string]*Gauge)}
+}
+
+// Gauge returns the gauge registered under name, creating it at zero on
+// first use.
+func (s *GaugeSet) Gauge(name string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.m[name]
+	if !ok {
+		g = &Gauge{}
+		s.m[name] = g
+	}
+	return g
+}
+
+// Snapshot copies every gauge's current value.
+func (s *GaugeSet) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for name, g := range s.m {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// String renders "name=value" pairs sorted by name, one per line.
+func (s *GaugeSet) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%d\n", name, snap[name])
+	}
+	return b.String()
+}

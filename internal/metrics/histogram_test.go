@@ -115,6 +115,10 @@ func TestWritePrometheusParses(t *testing.T) {
 	cs.Counter("peer.127.0.0.1:7001.failures").Add(2)
 	cs.Counter("route.skipped_quarantined").Add(1)
 
+	gs := NewGaugeSet()
+	gs.Gauge("mux.inflight").Set(3)
+	gs.Gauge("mux.queue_depth").Set(0)
+
 	hs := NewHistogramSet()
 	for i := 1; i <= 100; i++ {
 		hs.Observe("peer.127.0.0.1:7001.rtt", time.Duration(i)*time.Millisecond)
@@ -122,7 +126,7 @@ func TestWritePrometheusParses(t *testing.T) {
 	}
 
 	var b strings.Builder
-	if err := WritePrometheus(&b, []*CounterSet{cs, nil}, []*HistogramSet{hs, nil}); err != nil {
+	if err := WritePrometheus(&b, []*CounterSet{cs, nil}, []*GaugeSet{gs, nil}, []*HistogramSet{hs, nil}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -143,6 +147,8 @@ func TestWritePrometheusParses(t *testing.T) {
 	for _, want := range []string{
 		`teamnet_peer_requests_total{peer="127.0.0.1:7001"} 5`,
 		`teamnet_route_skipped_quarantined_total 1`,
+		`teamnet_mux_inflight 3`,
+		`teamnet_mux_queue_depth 0`,
 		`teamnet_infer_total_seconds_count 100`,
 		`teamnet_peer_rtt_seconds_bucket{peer="127.0.0.1:7001",le="+Inf"} 100`,
 	} {

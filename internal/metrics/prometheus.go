@@ -75,11 +75,12 @@ func promBucketName(prefix, name, le string) string {
 	return fmt.Sprintf("%s%s_seconds_bucket{le=%q}", prefix, sanitizeMetricName(name), le)
 }
 
-// WritePrometheus renders every counter and histogram of the given sets in
-// the Prometheus text exposition format, metric names prefixed with
-// "teamnet_". Nil sets are skipped, so callers pass whatever subsets the
-// process actually keeps.
-func WritePrometheus(w io.Writer, counters []*CounterSet, hists []*HistogramSet) error {
+// WritePrometheus renders every counter, gauge and histogram of the given
+// sets in the Prometheus text exposition format, metric names prefixed with
+// "teamnet_". Counters get the conventional _total suffix; gauges are bare
+// instantaneous levels. Nil sets are skipped, so callers pass whatever
+// subsets the process actually keeps.
+func WritePrometheus(w io.Writer, counters []*CounterSet, gauges []*GaugeSet, hists []*HistogramSet) error {
 	const prefix = "teamnet_"
 	for _, cs := range counters {
 		if cs == nil {
@@ -93,6 +94,22 @@ func WritePrometheus(w io.Writer, counters []*CounterSet, hists []*HistogramSet)
 		sort.Strings(names)
 		for _, name := range names {
 			if _, err := fmt.Fprintf(w, "%s %d\n", promName(prefix, name, "_total"), snap[name]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, gs := range gauges {
+		if gs == nil {
+			continue
+		}
+		snap := gs.Snapshot()
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "%s %d\n", promName(prefix, name, ""), snap[name]); err != nil {
 				return err
 			}
 		}

@@ -50,16 +50,26 @@ func DecodeTensor(data []byte) (*tensor.Tensor, int, error) {
 	if len(data) < off+4*rank {
 		return nil, 0, fmt.Errorf("transport: tensor truncated in shape")
 	}
+	// The element count is the product of attacker-controlled dims, so both
+	// each dim and the running product are guarded: without the per-step
+	// check, four dims of 2^16 wrap the product past the size guard to 0 and
+	// yield a tensor whose Shape product disagrees with len(Data).
+	const maxElems = MaxFrameSize / 4
 	shape := make([]int, rank)
 	size := 1
 	for i := range shape {
 		d := int(binary.BigEndian.Uint32(data[off:]))
 		off += 4
+		if d > maxElems {
+			return nil, 0, fmt.Errorf("transport: tensor dim %d implausible", d)
+		}
 		shape[i] = d
 		size *= d
-	}
-	if size < 0 || size > MaxFrameSize/4 {
-		return nil, 0, fmt.Errorf("transport: tensor size %d implausible", size)
+		// Each factor is ≤ 2^24, so the unwrapped product stays below 2^48
+		// and this check sees the true value before it can overflow int64.
+		if size > maxElems {
+			return nil, 0, fmt.Errorf("transport: tensor size %d implausible", size)
+		}
 	}
 	if len(data) < off+4*size {
 		return nil, 0, fmt.Errorf("transport: tensor truncated in data (want %d floats)", size)

@@ -17,6 +17,12 @@ func FuzzDecodeTensor(f *testing.F) {
 	f.Add([]byte{1, 0, 0, 0, 4})
 	f.Add([]byte{2, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(EncodeTensor(tensor.NewRNG(1).Randn(2, 3)))
+	// Shape-product overflow frames: dims whose product wraps int64 past the
+	// size guard (4 × 2^16 → 2^64 ≡ 0; 3 × 2^22 → 2^66 ≡ 0) and a single
+	// implausible dim at the uint32 ceiling.
+	f.Add([]byte{4, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0})
+	f.Add([]byte{3, 0, 64, 0, 0, 0, 64, 0, 0, 0, 64, 0, 0})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, used, err := DecodeTensor(data)
 		if err != nil {
@@ -24,6 +30,15 @@ func FuzzDecodeTensor(f *testing.F) {
 		}
 		if used > len(data) {
 			t.Fatalf("consumed %d of %d bytes", used, len(data))
+		}
+		// A decoded tensor's shape product must agree with its data length —
+		// the invariant the overflow frames above used to break.
+		elems := 1
+		for _, d := range got.Shape {
+			elems *= d
+		}
+		if elems != len(got.Data) {
+			t.Fatalf("shape product %d != data length %d", elems, len(got.Data))
 		}
 		// A successful decode must re-encode to the same bytes it consumed.
 		if !bytes.Equal(EncodeTensor(got), data[:used]) {

@@ -19,6 +19,10 @@ func decodeTensorSeeds() [][]byte {
 		{0},
 		{1, 0, 0, 0, 4},
 		{2, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		// Shape-product overflow: dims wrap int64 past the size guard.
+		{4, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0},
+		{3, 0, 64, 0, 0, 0, 64, 0, 0, 0, 64, 0, 0},
+		{1, 0xFF, 0xFF, 0xFF, 0xFF},
 		EncodeTensor(tensor.NewRNG(1).Randn(2, 3)),
 	}
 }
@@ -62,6 +66,23 @@ func TestDecodeTensorSeedCorpus(t *testing.T) {
 		}
 		if !bytes.Equal(EncodeTensor(got), data[:used]) {
 			t.Fatalf("seed %d: decode/encode not a retraction", i)
+		}
+	}
+}
+
+// TestDecodeTensorRejectsOverflowShapes pins the shape-product overflow
+// fix: each frame's dims wrap (or exceed) the element-count guard, and the
+// decoder must reject them instead of building a tensor whose Shape product
+// disagrees with len(Data).
+func TestDecodeTensorRejectsOverflowShapes(t *testing.T) {
+	frames := [][]byte{
+		{4, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0}, // 65536^4 ≡ 0 mod 2^64
+		{3, 0, 64, 0, 0, 0, 64, 0, 0, 0, 64, 0, 0},          // (2^22)^3 ≡ 0 mod 2^64
+		{1, 0xFF, 0xFF, 0xFF, 0xFF},                         // single dim 2^32-1
+	}
+	for i, data := range frames {
+		if _, _, err := DecodeTensor(data); err == nil {
+			t.Fatalf("frame %d: overflowing shape accepted", i)
 		}
 	}
 }
