@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fmt-check docs bench bench-throughput clean
+.PHONY: build test verify fmt-check docs bench bench-throughput bench-serve clean
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ docs:
 verify: fmt-check docs
 	$(GO) vet ./...
 	$(GO) test -short ./...
-	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/... ./internal/trace/...
+	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/... ./internal/trace/... ./internal/serve/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -38,6 +38,12 @@ bench:
 # (see docs/OPERATIONS.md).
 bench-throughput:
 	$(GO) run ./cmd/teamnet-bench -throughput -clients 8 -replicas 4 -duration 3s -out BENCH_throughput.json
+
+# Open-loop direct-vs-gateway serving comparison: Poisson arrivals with
+# per-request deadlines against a real master/worker over a 2ms edge link;
+# the JSON artifact records the micro-batching goodput win (DESIGN.md §9).
+bench-serve:
+	$(GO) run ./cmd/teamnet-bench -serve -qps 8000 -replicas 4 -duration 3s -out BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

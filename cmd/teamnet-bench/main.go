@@ -47,11 +47,17 @@ func run() error {
 
 		throughput = flag.Bool("throughput", false, "run the closed-loop serial-vs-mux throughput benchmark")
 		clients    = flag.Int("clients", 8, "throughput: concurrent closed-loop clients")
-		replicas   = flag.Int("replicas", 4, "throughput: worker expert replicas")
+		replicas   = flag.Int("replicas", 4, "throughput/serve: worker expert replicas")
 		batch      = flag.Int("batch", 4, "throughput: rows per query")
-		duration   = flag.Duration("duration", 2*time.Second, "throughput: measured window per mode")
-		netDelay   = flag.Duration("netdelay", 2*time.Millisecond, "throughput: one-way link delay (edge RTT model; negative = raw loopback)")
-		out        = flag.String("out", "", "throughput: also write the report as JSON to this file")
+		duration   = flag.Duration("duration", 2*time.Second, "throughput/serve: measured window per mode")
+		netDelay   = flag.Duration("netdelay", 2*time.Millisecond, "throughput/serve: one-way link delay (edge RTT model; negative = raw loopback)")
+		out        = flag.String("out", "", "throughput/serve: also write the report as JSON to this file")
+
+		serveBench = flag.Bool("serve", false, "run the open-loop direct-vs-gateway serving benchmark")
+		targetQPS  = flag.Int("qps", 8000, "serve: offered Poisson arrival rate, requests/second")
+		reqDl      = flag.Duration("req-deadline", 300*time.Millisecond, "serve: per-request deadline")
+		maxBatch   = flag.Int("max-batch", 16, "serve: gateway row budget per coalesced batch")
+		linger     = flag.Duration("linger", 2*time.Millisecond, "serve: gateway flush timer")
 	)
 	flag.Parse()
 
@@ -63,6 +69,19 @@ func run() error {
 			Duration: *duration,
 			NetDelay: *netDelay,
 			Seed:     *seed,
+		}, *out)
+	}
+
+	if *serveBench {
+		return runServeBench(bench.ServeBenchConfig{
+			TargetQPS: *targetQPS,
+			Duration:  *duration,
+			Deadline:  *reqDl,
+			Replicas:  *replicas,
+			NetDelay:  *netDelay,
+			MaxBatch:  *maxBatch,
+			Linger:    *linger,
+			Seed:      *seed,
 		}, *out)
 	}
 
@@ -125,6 +144,22 @@ func runThroughput(cfg bench.ThroughputConfig, out string) error {
 		return err
 	}
 	fmt.Println(report)
+	return writeReport(report, out)
+}
+
+// runServeBench runs the open-loop direct-vs-gateway comparison.
+func runServeBench(cfg bench.ServeBenchConfig, out string) error {
+	report, err := bench.RunServeBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	return writeReport(report, out)
+}
+
+// writeReport records a benchmark report as a JSON artifact (out == ""
+// skips the file).
+func writeReport(report any, out string) error {
 	if out == "" {
 		return nil
 	}

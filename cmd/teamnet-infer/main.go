@@ -18,9 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/teamnet/teamnet/internal/admin"
@@ -117,7 +120,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer adm.Close()
+		// Graceful on exit (including the SIGINT path below): an in-flight
+		// scrape finishes instead of seeing a reset connection.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			adm.Shutdown(ctx)
+			cancel()
+		}()
 		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /debug/pprof/)\n", bound)
 	}
 	for _, addr := range peerAddrs {
@@ -140,6 +149,12 @@ func run() error {
 		return err
 	}
 
+	// SIGINT cancels the query stream cleanly: the in-flight query aborts
+	// via its context, then the deferred admin Shutdown and master Close
+	// run instead of the process dying mid-connection.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var lat metrics.Summary
 	winnerCount := make(map[int]int)
 	liveCount := make(map[int]int) // participating-node count → queries
@@ -154,14 +169,17 @@ func run() error {
 		)
 		if *bestEffort {
 			var live int
-			probs, winners, live, err = master.InferBestEffort(x)
+			probs, winners, live, err = master.InferBestEffortContext(ctx, x)
 			if err == nil {
 				liveCount[live]++
 			}
 		} else {
-			probs, winners, err = master.Infer(x)
+			probs, winners, err = master.InferContext(ctx, x)
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted at query %d", i)
+			}
 			return fmt.Errorf("query %d: %w", i, err)
 		}
 		lat.Observe(time.Since(start))

@@ -19,11 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/teamnet/teamnet/internal/admin"
 	"github.com/teamnet/teamnet/internal/chaos"
@@ -128,7 +130,6 @@ func run() error {
 			worker.Close()
 			return err
 		}
-		defer adm.Close()
 		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /debug/pprof/)\n", bound)
 	}
 
@@ -136,6 +137,12 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if adm != nil {
+		// Graceful: a scrape racing the shutdown still gets its response.
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		adm.Shutdown(ctx)
+		cancel()
+	}
 	if proxy != nil {
 		fmt.Printf("chaos injections:\n%s", proxy.Counters())
 	}

@@ -1,0 +1,178 @@
+// Command teamnet-serve runs the batching inference gateway: an HTTP front
+// door over a cluster master. Many concurrent clients POST single samples
+// (or small batches) to /predict; the gateway coalesces them into team-sized
+// batches under a MaxBatch/MaxLinger policy, drives the collaborative
+// broadcast-gather protocol once per batch, and scatters per-row answers
+// back — amortizing every peer round trip over the whole batch. Overload is
+// shed at admission (HTTP 429) instead of queueing without bound, and
+// per-request deadlines turn into 504s rather than stuck connections.
+//
+// Example, in front of two teamnet-node workers:
+//
+//	teamnet-serve -team team.tnet -local 0 -peers 127.0.0.1:7001 -listen :8090 -admin :8091
+//	curl -s localhost:8090/predict -d '{"x": [[0.1, 0.2, ...]], "timeout_ms": 250}'
+//
+// -admin exposes /healthz, /metrics (gateway queue/batch/shed series plus
+// the master's cluster series), /traces, and pprof (docs/OPERATIONS.md).
+// SIGINT shuts down gracefully: the predict listener stops accepting,
+// in-flight requests finish, queued ones fail fast with 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/admin"
+	"github.com/teamnet/teamnet/internal/cli"
+	"github.com/teamnet/teamnet/internal/cluster"
+	"github.com/teamnet/teamnet/internal/core"
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/serve"
+	"github.com/teamnet/teamnet/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teamnet-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		teamPath = flag.String("team", "team.tnet", "team bundle from teamnet-train")
+		local    = flag.Int("local", -1, "expert index to run locally (-1 = coordinator only)")
+		peers    = flag.String("peers", "", "comma-separated worker addresses")
+		listen   = flag.String("listen", "127.0.0.1:8090", "HTTP address for /predict")
+
+		maxBatch = flag.Int("max-batch", 16, "row budget per coalesced batch")
+		linger   = flag.Duration("linger", 2*time.Millisecond, "max wait for more rows before flushing a partial batch")
+		queue    = flag.Int("queue", 256, "admission queue size per priority lane (full lane sheds with 429)")
+		workers  = flag.Int("workers", 2, "concurrent batch dispatches")
+		deadline = flag.Duration("deadline", 2*time.Second, "default per-request deadline when the client sends no timeout_ms (0 = none)")
+
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-peer round-trip deadline (0 = none)")
+		retries   = flag.Int("retries", 1, "per-request retry budget for transient peer errors")
+		adminAddr = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address, e.g. :8091")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown budget for in-flight HTTP requests on SIGINT")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*teamPath)
+	if err != nil {
+		return fmt.Errorf("open bundle: %w", err)
+	}
+	team, err := core.LoadTeam(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load bundle: %w", err)
+	}
+
+	var localExpert *nn.Network
+	if *local >= 0 {
+		if *local >= team.K() {
+			return fmt.Errorf("local expert %d out of range [0, %d)", *local, team.K())
+		}
+		localExpert = team.Experts[*local]
+	}
+	master := cluster.NewMaster(localExpert, team.Classes)
+	defer master.Close()
+	master.SetTimeout(*timeout)
+	master.SetSupervisor(cluster.SupervisorConfig{MaxRetries: *retries})
+	master.SetTracer(trace.New("gateway", 0))
+	for _, addr := range cli.SplitList(*peers) {
+		if err := master.Connect(addr); err != nil {
+			return err
+		}
+	}
+	if err := master.Ping(); err != nil {
+		// Degraded start: the supervisor keeps probing sick peers while the
+		// gateway serves with whoever answers.
+		fmt.Printf("warning: %v\n", err)
+	}
+
+	gw := serve.New(master, serve.Config{
+		MaxBatch:       *maxBatch,
+		MaxLinger:      *linger,
+		QueueSize:      *queue,
+		Workers:        *workers,
+		DefaultTimeout: *deadline,
+	})
+	defer gw.Close()
+	gw.SetTracer(master.Tracer())
+
+	var adm *admin.Server
+	if *adminAddr != "" {
+		adm = admin.New()
+		adm.HealthFunc(func() (bool, any) {
+			healths := master.Health()
+			ok := true
+			for _, h := range healths {
+				if h.State == cluster.PeerOpen || h.State == cluster.PeerHalfOpen {
+					ok = false
+				}
+			}
+			return ok, map[string]any{
+				"role":  "gateway",
+				"peers": healths,
+			}
+		})
+		adm.AddCounters(gw.Counters(), master.Counters())
+		adm.AddGauges(gw.Gauges(), master.Gauges())
+		adm.AddHistograms(gw.Histograms(), master.Histograms())
+		adm.AddValueHistograms(gw.ValueHistograms())
+		adm.TracerFunc(master.Tracer)
+		bound, err := adm.Listen(*adminAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /debug/pprof/)\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	srv := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("gateway on http://%s/predict (max batch %d, linger %v, %d peer(s), local expert: %v)\n",
+		ln.Addr(), *maxBatch, *linger, master.Peers(), *local >= 0)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-sig:
+	}
+	fmt.Println("shutting down")
+
+	// Drain order matters: stop accepting and finish in-flight HTTP first
+	// (their Predict calls need a live gateway), then stop the gateway, then
+	// the admin endpoint — leaving /metrics scrapable until the very end.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	var firstErr error
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		firstErr = err
+	}
+	gw.Close()
+	if served := gw.Counters().String(); served != "" {
+		fmt.Printf("gateway counters:\n%s", served)
+	}
+	if adm != nil {
+		if err := adm.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

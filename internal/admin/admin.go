@@ -20,6 +20,7 @@
 package admin
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -36,14 +37,15 @@ import (
 // Server is one admin endpoint. Configure its sources, then Listen.
 // Methods are safe for concurrent use; sources may be added while serving.
 type Server struct {
-	mu       sync.Mutex
-	healthFn func() (ok bool, detail any)
-	counters []*metrics.CounterSet
-	gauges   []*metrics.GaugeSet
-	hists    []*metrics.HistogramSet
-	tracerFn func() *trace.Tracer
-	srv      *http.Server
-	ln       net.Listener
+	mu        sync.Mutex
+	healthFn  func() (ok bool, detail any)
+	counters  []*metrics.CounterSet
+	gauges    []*metrics.GaugeSet
+	hists     []*metrics.HistogramSet
+	valueHist []*metrics.ValueHistogramSet
+	tracerFn  func() *trace.Tracer
+	srv       *http.Server
+	ln        net.Listener
 }
 
 // New returns an unstarted admin server with no sources.
@@ -75,6 +77,14 @@ func (s *Server) AddGauges(gs ...*metrics.GaugeSet) {
 func (s *Server) AddHistograms(hs ...*metrics.HistogramSet) {
 	s.mu.Lock()
 	s.hists = append(s.hists, hs...)
+	s.mu.Unlock()
+}
+
+// AddValueHistograms registers unitless value-histogram sets (batch sizes,
+// queue lengths) for /metrics.
+func (s *Server) AddValueHistograms(hs ...*metrics.ValueHistogramSet) {
+	s.mu.Lock()
+	s.valueHist = append(s.valueHist, hs...)
 	s.mu.Unlock()
 }
 
@@ -121,7 +131,7 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight requests.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	srv := s.srv
@@ -130,6 +140,27 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes at once (no new
+// scrapes), in-flight requests run to completion until ctx expires, then
+// the remainder is dropped. This is what the CLIs call on SIGINT so a final
+// scrape mid-shutdown still gets its response and tests don't leak
+// listeners.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		// Past the deadline: fall back to the hard close so no connection
+		// outlives the process teardown.
+		srv.Close()
+		return err
+	}
+	return nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -158,9 +189,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counters := append([]*metrics.CounterSet(nil), s.counters...)
 	gauges := append([]*metrics.GaugeSet(nil), s.gauges...)
 	hists := append([]*metrics.HistogramSet(nil), s.hists...)
+	valueHists := append([]*metrics.ValueHistogramSet(nil), s.valueHist...)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	metrics.WritePrometheus(w, counters, gauges, hists)
+	metrics.WriteValuePrometheus(w, valueHists)
 }
 
 // tracesEntry is one trace in the /traces response.

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
 )
 
 // Adaptive (early-exit) inference: an extension beyond the paper, inspired
@@ -30,28 +33,58 @@ type AdaptiveResult struct {
 // escalates the rest to the full broadcast-gather protocol. It requires a
 // local expert.
 func (m *Master) InferAdaptive(x *tensor.Tensor, entropyThreshold float64) (AdaptiveResult, error) {
+	return m.InferAdaptiveContext(context.Background(), x, entropyThreshold)
+}
+
+// InferAdaptiveContext is InferAdaptive with deadline/cancellation plumbing
+// (see InferContext). Every call — escalated or answered purely locally —
+// records an "infer.adaptive" span with the local compute as a child, so
+// adaptive traffic no longer vanishes from the flight recorder when the
+// local expert is confident; an escalation's "infer" subtree hangs off the
+// same root. The counters "infer.adaptive.samples", "infer.adaptive.local"
+// and "infer.adaptive.escalated" make the local/team split visible on
+// /metrics.
+func (m *Master) InferAdaptiveContext(ctx context.Context, x *tensor.Tensor, entropyThreshold float64) (AdaptiveResult, error) {
 	if m.local == nil {
 		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive inference requires a local expert")
 	}
+	tr := m.tracer.get()
+	root := tr.Start(trace.FromContext(ctx), "infer.adaptive")
+	start := time.Now()
+	res, err := m.inferAdaptive(ctx, x, entropyThreshold, tr, root.Ctx())
+	root.EndErr(err)
+	m.hists.Observe("infer.adaptive.total", time.Since(start))
+	return res, err
+}
+
+func (m *Master) inferAdaptive(ctx context.Context, x *tensor.Tensor, entropyThreshold float64, tr *trace.Tracer, root trace.Context) (AdaptiveResult, error) {
+	if err := ctx.Err(); err != nil {
+		return AdaptiveResult{}, err
+	}
 	batch := x.Shape[0]
-	probs, ent := m.localPredict(x)
+	local := m.localResult(x, tr, root)
 	res := AdaptiveResult{
-		Probs:     probs.Clone(),
+		Probs:     local.Probs.Clone(),
 		Escalated: make([]bool, batch),
 		Winners:   make([]int, batch),
 	}
 	var escalate []int
 	for b := 0; b < batch; b++ {
-		if ent.Data[b] > entropyThreshold {
+		if local.Entropy[b] > entropyThreshold {
 			escalate = append(escalate, b)
 			res.Escalated[b] = true
 		}
 	}
+	m.counters.Counter("infer.adaptive.samples").Add(int64(batch))
+	m.counters.Counter("infer.adaptive.local").Add(int64(batch - len(escalate)))
+	m.counters.Counter("infer.adaptive.escalated").Add(int64(len(escalate)))
 	if len(escalate) == 0 {
 		return res, nil
 	}
 	sub := x.SelectRows(escalate)
-	teamProbs, winners, err := m.Infer(sub)
+	// The escalation runs as a full InferContext under the adaptive root, so
+	// its "infer" span tree (peers, gate) nests inside this query's trace.
+	teamProbs, winners, err := m.InferContext(trace.NewContext(ctx, root), sub)
 	if err != nil {
 		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive escalation: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
 )
 
 func TestInferAdaptiveThresholdExtremes(t *testing.T) {
@@ -111,6 +112,91 @@ func TestInferAdaptiveMixedBatch(t *testing.T) {
 	}
 	if math.Abs(rate-float64(esc)/10) > 1e-12 {
 		t.Fatalf("EscalationRate %v != observed %v", rate, float64(esc)/10)
+	}
+}
+
+// TestInferAdaptiveLocalPathTraced pins the observability fix: a purely
+// local adaptive answer (no escalation) must still leave an "infer.adaptive"
+// span in the flight recorder with the local compute as a child, and the
+// escalated/local counters must record the split. Before the fix, confident
+// queries vanished from /traces entirely.
+func TestInferAdaptiveLocalPathTraced(t *testing.T) {
+	team, ds := trainSmallTeam(t)
+	master := NewMaster(team.Experts[0], 10)
+	defer master.Close()
+	tr := trace.New("m", 0)
+	master.SetTracer(tr)
+
+	x := ds.X.SelectRows([]int{0, 1, 2})
+	// Threshold above ln(10): nothing can escalate.
+	if _, err := master.InferAdaptive(x, math.Log(10)+1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if got := master.Counters().Counter("infer.adaptive.samples").Value(); got != 3 {
+		t.Fatalf("infer.adaptive.samples = %d, want 3", got)
+	}
+	if got := master.Counters().Counter("infer.adaptive.local").Value(); got != 3 {
+		t.Fatalf("infer.adaptive.local = %d, want 3", got)
+	}
+	if got := master.Counters().Counter("infer.adaptive.escalated").Value(); got != 0 {
+		t.Fatalf("infer.adaptive.escalated = %d, want 0", got)
+	}
+	spans := tr.Snapshot(0)
+	var root, localChild bool
+	var rootID uint64
+	for _, s := range spans {
+		if s.Name == "infer.adaptive" {
+			root = true
+			rootID = s.SpanID
+		}
+	}
+	for _, s := range spans {
+		if s.Name == "local.compute" && s.ParentID == rootID {
+			localChild = true
+		}
+	}
+	if !root {
+		t.Fatalf("local-only adaptive inference recorded no infer.adaptive span; spans: %+v", spans)
+	}
+	if !localChild {
+		t.Fatalf("infer.adaptive span has no local.compute child; spans: %+v", spans)
+	}
+	if got := master.Histograms().Histogram("infer.adaptive.total").Count(); got != 1 {
+		t.Fatalf("infer.adaptive.total count = %d, want 1", got)
+	}
+
+	// An escalating call (threshold -1, needs a peer) bumps the escalated
+	// counter and nests the "infer" subtree under the adaptive root.
+	worker := NewWorker(team.Experts[1], 1)
+	addr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := master.InferAdaptive(x, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := master.Counters().Counter("infer.adaptive.escalated").Value(); got != 3 {
+		t.Fatalf("infer.adaptive.escalated = %d, want 3", got)
+	}
+	spans = tr.Snapshot(0)
+	byName := map[string]trace.Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	adaptive, ok := byName["infer.adaptive"]
+	if !ok {
+		t.Fatal("escalated adaptive inference recorded no infer.adaptive span")
+	}
+	infer, ok := byName["infer"]
+	if !ok {
+		t.Fatal("escalation recorded no infer span")
+	}
+	if infer.TraceID != adaptive.TraceID {
+		t.Fatalf("infer subtree trace %016x not under adaptive root trace %016x", infer.TraceID, adaptive.TraceID)
 	}
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -244,16 +245,30 @@ func (m *Master) snapshotPeers() []*peerConn {
 // budget (or sits behind an open breaker) still fails the strict protocol —
 // use InferBestEffort to route around it instead.
 func (m *Master) Infer(x *tensor.Tensor) (*tensor.Tensor, []int, error) {
+	return m.InferContext(context.Background(), x)
+}
+
+// InferContext is Infer with deadline and cancellation plumbing: when ctx
+// expires or is cancelled, in-flight peer waits abort promptly (the mux link
+// stays up — a caller giving up is not a peer fault) and the error is the
+// ctx error, so upstream queues stop burning round trips on requests nobody
+// is waiting for. A span parent stamped into ctx with trace.NewContext
+// parents this query's "infer" span tree — how the serve gateway links each
+// coalesced batch into its own span.
+func (m *Master) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, []int, error) {
 	tr := m.tracer.get()
-	root := tr.Start(trace.Context{}, "infer")
+	root := tr.Start(trace.FromContext(ctx), "infer")
 	start := time.Now()
-	probs, winners, err := m.infer(x, tr, root.Ctx())
+	probs, winners, err := m.infer(ctx, x, tr, root.Ctx())
 	root.EndErr(err)
 	m.hists.Observe("infer.total", time.Since(start))
 	return probs, winners, err
 }
 
-func (m *Master) infer(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (*tensor.Tensor, []int, error) {
+func (m *Master) infer(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (*tensor.Tensor, []int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	peers := m.snapshotPeers()
 
 	batch := x.Shape[0]
@@ -282,7 +297,7 @@ func (m *Master) infer(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (
 		wg.Add(1)
 		go func(p *peerConn, slot int) {
 			defer wg.Done()
-			res, err := p.do(payload, root)
+			res, err := p.do(ctx, payload, root)
 			results[slot], errs[slot] = res, err
 		}(p, slot)
 	}
@@ -352,16 +367,27 @@ func (m *Master) recordGate(tr *trace.Tracer, root trace.Context, start time.Tim
 // produced a result. The returned live count reports how many nodes
 // participated.
 func (m *Master) InferBestEffort(x *tensor.Tensor) (probs *tensor.Tensor, winners []int, live int, err error) {
+	return m.InferBestEffortContext(context.Background(), x)
+}
+
+// InferBestEffortContext is InferBestEffort with the deadline/cancellation
+// semantics of InferContext: an expired ctx aborts the remaining peer waits
+// and fails the query with the ctx error (partial results are not returned —
+// a caller that stopped waiting gets nothing, not a stale subset).
+func (m *Master) InferBestEffortContext(ctx context.Context, x *tensor.Tensor) (probs *tensor.Tensor, winners []int, live int, err error) {
 	tr := m.tracer.get()
-	root := tr.Start(trace.Context{}, "infer")
+	root := tr.Start(trace.FromContext(ctx), "infer")
 	start := time.Now()
-	probs, winners, live, err = m.inferBestEffort(x, tr, root.Ctx())
+	probs, winners, live, err = m.inferBestEffort(ctx, x, tr, root.Ctx())
 	root.EndErr(err)
 	m.hists.Observe("infer.total", time.Since(start))
 	return probs, winners, live, err
 }
 
-func (m *Master) inferBestEffort(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (probs *tensor.Tensor, winners []int, live int, err error) {
+func (m *Master) inferBestEffort(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (probs *tensor.Tensor, winners []int, live int, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
 	peers := m.snapshotPeers()
 
 	batch := x.Shape[0]
@@ -394,7 +420,7 @@ func (m *Master) inferBestEffort(x *tensor.Tensor, tr *trace.Tracer, root trace.
 		wg.Add(1)
 		go func(p *peerConn, slot int) {
 			defer wg.Done()
-			res, rerr := p.do(payload, root)
+			res, rerr := p.do(ctx, payload, root)
 			if rerr == nil {
 				results[slot], ok[slot] = res, true
 			}
@@ -404,6 +430,9 @@ func (m *Master) inferBestEffort(x *tensor.Tensor, tr *trace.Tracer, root trace.
 		results[0], ok[0] = m.localResult(x, tr, root), true
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
 
 	for _, o := range ok {
 		if o {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -253,11 +254,14 @@ func (mc *muxClient) unregister(id uint32) {
 }
 
 // roundTrip pipelines one request: acquire a window slot, send, await the
-// matched reply within timeout. done aborts on master shutdown. A timeout
-// is a link failure — with requests pipelined behind each other a stalled
-// link wedges them all, so it is torn down (and the breaker fed once) like
-// any other link fault, mirroring the serial path's conn drop.
-func (mc *muxClient) roundTrip(payload []byte, timeout time.Duration, done <-chan struct{}) (muxReply, time.Duration, error) {
+// matched reply within timeout. done aborts the waits — it merges master
+// shutdown with the caller's ctx cancellation (joinDone); abortErr(ctx)
+// names which one fired. A caller abort abandons only this request (the
+// late reply is dropped, the link stays up), whereas a timeout is a link
+// failure — with requests pipelined behind each other a stalled link wedges
+// them all, so it is torn down (and the breaker fed once) like any other
+// link fault, mirroring the serial path's conn drop.
+func (mc *muxClient) roundTrip(ctx context.Context, payload []byte, timeout time.Duration, done <-chan struct{}) (muxReply, time.Duration, error) {
 	var timer *time.Timer
 	var timeoutCh <-chan time.Time
 	if timeout > 0 {
@@ -281,7 +285,7 @@ func (mc *muxClient) roundTrip(payload []byte, timeout time.Duration, done <-cha
 		return muxReply{}, 0, err
 	case <-done:
 		mc.queued.Dec()
-		return muxReply{}, 0, errors.New("cluster: master closing")
+		return muxReply{}, 0, abortErr(ctx)
 	}
 	mc.inflight.Inc()
 	defer func() {
@@ -301,7 +305,7 @@ func (mc *muxClient) roundTrip(payload []byte, timeout time.Duration, done <-cha
 		return muxReply{}, 0, mc.downError()
 	case <-done:
 		mc.unregister(id)
-		return muxReply{}, 0, errors.New("cluster: master closing")
+		return muxReply{}, 0, abortErr(ctx)
 	}
 	select {
 	case r := <-ch:
@@ -316,7 +320,7 @@ func (mc *muxClient) roundTrip(payload []byte, timeout time.Duration, done <-cha
 		return muxReply{}, time.Since(start), err
 	case <-done:
 		mc.unregister(id)
-		return muxReply{}, time.Since(start), errors.New("cluster: master closing")
+		return muxReply{}, time.Since(start), abortErr(ctx)
 	}
 }
 
@@ -336,10 +340,11 @@ func (mc *muxClient) downError() error {
 type muxOutcome int
 
 const (
-	muxOK        muxOutcome = iota
-	muxWorkerErr            // live peer answered with an error: no retry, no breaker
-	muxLinkFault            // link died; the breaker was already fed once by muxLinkDown
-	muxDialFault            // dial failed before a client existed; caller feeds the breaker
+	muxOK          muxOutcome = iota
+	muxWorkerErr              // live peer answered with an error: no retry, no breaker
+	muxLinkFault              // link died; the breaker was already fed once by muxLinkDown
+	muxDialFault              // dial failed before a client existed; caller feeds the breaker
+	muxCallerAbort            // the caller's ctx expired/cancelled: no retry, no breaker
 )
 
 // muxEligible reports whether this peer is still on the mux protocol:
@@ -440,14 +445,18 @@ func (p *peerConn) muxTimeout() time.Duration {
 // muxAttempts is the mux-path counterpart of doAttempts: the same bounded
 // retry loop and span emission, with breaker accounting shifted onto the
 // link-down hook so a failure with N pipelined requests costs one strike,
-// not N.
-func (p *peerConn) muxAttempts(cfg SupervisorConfig, tr *trace.Tracer, peerCtx trace.Context, payload []byte) (PredictResult, error) {
+// not N. A caller-cancelled ctx (muxCallerAbort) abandons the request
+// without retrying or feeding the breaker — the link stays up.
+func (p *peerConn) muxAttempts(ctx context.Context, done <-chan struct{}, cfg SupervisorConfig, tr *trace.Tracer, peerCtx trace.Context, payload []byte) (PredictResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			p.counter("retries").Inc()
 			backoffStart := time.Now()
-			if !cfg.RetryBackoff.Sleep(attempt-1, p.done) {
+			if !cfg.RetryBackoff.Sleep(attempt-1, done) {
+				if err := ctx.Err(); err != nil {
+					return PredictResult{}, err
+				}
 				break // master closing
 			}
 			tr.Record(peerCtx, "backoff", "", "", backoffStart, time.Since(backoffStart))
@@ -458,7 +467,7 @@ func (p *peerConn) muxAttempts(cfg SupervisorConfig, tr *trace.Tracer, peerCtx t
 				return PredictResult{}, errMuxUnsupported // downgraded while backing off
 			}
 		}
-		res, tm, err, outcome := p.muxOnce(cfg, payload)
+		res, tm, err, outcome := p.muxOnce(ctx, done, cfg, payload)
 		p.emitAttempt(tr, peerCtx, tm, err)
 		if err == nil {
 			p.recordSuccess()
@@ -473,6 +482,10 @@ func (p *peerConn) muxAttempts(cfg SupervisorConfig, tr *trace.Tracer, peerCtx t
 			// The worker answered; the request itself is bad. No retry,
 			// no breaker accounting.
 			return PredictResult{}, err
+		case muxCallerAbort:
+			// The caller's deadline fired or it was cancelled: the peer did
+			// nothing wrong. No retry, no breaker accounting.
+			return PredictResult{}, err
 		case muxDialFault:
 			p.recordFailure()
 		case muxLinkFault:
@@ -483,7 +496,7 @@ func (p *peerConn) muxAttempts(cfg SupervisorConfig, tr *trace.Tracer, peerCtx t
 }
 
 // muxOnce performs one pipelined round trip.
-func (p *peerConn) muxOnce(cfg SupervisorConfig, payload []byte) (PredictResult, attemptTiming, error, muxOutcome) {
+func (p *peerConn) muxOnce(ctx context.Context, done <-chan struct{}, cfg SupervisorConfig, payload []byte) (PredictResult, attemptTiming, error, muxOutcome) {
 	var tm attemptTiming
 	dialStart := time.Now()
 	mc, dialed, err := p.muxEnsure(cfg)
@@ -497,9 +510,12 @@ func (p *peerConn) muxOnce(cfg SupervisorConfig, payload []byte) (PredictResult,
 	}
 	p.counter("requests").Inc()
 	tm.rttStart = time.Now()
-	r, rtt, err := mc.roundTrip(payload, p.muxTimeout(), p.done)
+	r, rtt, err := mc.roundTrip(ctx, payload, p.muxTimeout(), done)
 	tm.rtt = rtt
 	if err != nil {
+		if ctx.Err() != nil {
+			return PredictResult{}, tm, err, muxCallerAbort
+		}
 		return PredictResult{}, tm, err, muxLinkFault
 	}
 	p.markMuxProven()

@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/teamnet/teamnet/internal/metrics"
@@ -428,36 +430,76 @@ type attemptTiming struct {
 // "peer <addr>" span beneath it with dial / backoff / network / compute
 // children, and every successful attempt lands in the peer's rtt (and,
 // when the worker reports it, compute) histograms.
-func (p *peerConn) do(payload []byte, parent trace.Context) (PredictResult, error) {
+//
+// ctx carries the caller's deadline/cancellation: an expired ctx aborts
+// waits (window, reply, backoff) with the ctx error and WITHOUT feeding the
+// breaker — a caller that stopped waiting is not evidence against the peer.
+func (p *peerConn) do(ctx context.Context, payload []byte, parent trace.Context) (PredictResult, error) {
 	cfg := p.config()
 	tr := p.tracer()
 	if !p.available() {
 		tr.Record(parent, "peer "+p.addr, "", trace.StatusError, time.Now(), 0)
 		return PredictResult{}, errPeerQuarantined{addr: p.addr, state: p.State()}
 	}
+	done, stop := joinDone(ctx, p.done)
+	defer stop()
 	sp := tr.Start(parent, "peer "+p.addr)
 	var res PredictResult
 	var err error
 	if p.muxEligible() {
-		res, err = p.muxAttempts(cfg, tr, sp.Ctx(), payload)
+		res, err = p.muxAttempts(ctx, done, cfg, tr, sp.Ctx(), payload)
 		if errors.Is(err, errMuxUnsupported) {
-			res, err = p.doAttempts(cfg, tr, sp.Ctx(), payload)
+			res, err = p.doAttempts(ctx, done, cfg, tr, sp.Ctx(), payload)
 		}
 	} else {
-		res, err = p.doAttempts(cfg, tr, sp.Ctx(), payload)
+		res, err = p.doAttempts(ctx, done, cfg, tr, sp.Ctx(), payload)
 	}
 	sp.EndErr(err)
 	return res, err
 }
 
+// joinDone merges the master's shutdown channel with ctx cancellation into
+// one abort channel for a single round trip. The returned stop releases the
+// merge goroutine; callers must invoke it. A background ctx (no Done
+// channel) costs nothing: the master channel is returned as-is.
+func joinDone(ctx context.Context, master <-chan struct{}) (<-chan struct{}, func()) {
+	if ctx.Done() == nil {
+		return master, func() {}
+	}
+	ch := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		defer close(ch)
+		select {
+		case <-ctx.Done():
+		case <-master:
+		case <-released:
+		}
+	}()
+	var once sync.Once
+	return ch, func() { once.Do(func() { close(released) }) }
+}
+
+// abortErr names the reason a merged done channel fired: the caller's ctx
+// error when it was the caller, otherwise master shutdown.
+func abortErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return errors.New("cluster: master closing")
+}
+
 // doAttempts is do's retry loop, with span emission under peerCtx.
-func (p *peerConn) doAttempts(cfg SupervisorConfig, tr *trace.Tracer, peerCtx trace.Context, payload []byte) (PredictResult, error) {
+func (p *peerConn) doAttempts(ctx context.Context, done <-chan struct{}, cfg SupervisorConfig, tr *trace.Tracer, peerCtx trace.Context, payload []byte) (PredictResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			p.counter("retries").Inc()
 			backoffStart := time.Now()
-			if !cfg.RetryBackoff.Sleep(attempt-1, p.done) {
+			if !cfg.RetryBackoff.Sleep(attempt-1, done) {
+				if err := ctx.Err(); err != nil {
+					return PredictResult{}, err
+				}
 				break // master closing
 			}
 			tr.Record(peerCtx, "backoff", "", "", backoffStart, time.Since(backoffStart))
@@ -465,11 +507,16 @@ func (p *peerConn) doAttempts(cfg SupervisorConfig, tr *trace.Tracer, peerCtx tr
 				break // breaker tripped while we backed off
 			}
 		}
-		res, tm, err, peerFault := p.tryOnce(cfg, payload)
+		res, tm, err, peerFault := p.tryOnce(ctx, cfg, payload)
 		p.emitAttempt(tr, peerCtx, tm, err)
 		if err == nil {
 			p.recordSuccess()
 			return res, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller gave up mid-round-trip; the failure indicts the
+			// deadline, not the peer — no breaker accounting, no retry.
+			return PredictResult{}, cerr
 		}
 		lastErr = err
 		if !peerFault {
@@ -516,16 +563,19 @@ func (p *peerConn) emitAttempt(tr *trace.Tracer, peerCtx trace.Context, tm attem
 }
 
 // tryOnce performs one wire round trip. peerFault reports whether the error
-// indicts the peer/link (retryable) as opposed to the request (not).
-func (p *peerConn) tryOnce(cfg SupervisorConfig, payload []byte) (res PredictResult, tm attemptTiming, err error, peerFault bool) {
+// indicts the peer/link (retryable) as opposed to the request (not). The
+// caller's ctx deadline shrinks the connection deadline when it is sooner
+// than the configured per-peer timeout, so a short-deadline request on the
+// serial protocol aborts its read instead of waiting out the full timeout.
+func (p *peerConn) tryOnce(ctx context.Context, cfg SupervisorConfig, payload []byte) (res PredictResult, tm attemptTiming, err error, peerFault bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if derr := p.ensureConnTimedLocked(cfg, &tm); derr != nil {
 		return PredictResult{}, tm, derr, true
 	}
 	p.counter("requests").Inc()
-	if p.timeout > 0 {
-		if err := p.conn.SetDeadline(time.Now().Add(p.timeout)); err != nil {
+	if deadline := connDeadline(ctx, p.timeout); !deadline.IsZero() {
+		if err := p.conn.SetDeadline(deadline); err != nil {
 			p.dropConnLocked()
 			return PredictResult{}, tm, fmt.Errorf("set deadline: %w", err), true
 		}
@@ -562,6 +612,20 @@ func (p *peerConn) tryOnce(cfg SupervisorConfig, payload []byte) (res PredictRes
 		p.dropConnLocked()
 		return PredictResult{}, tm, fmt.Errorf("unexpected frame type %d", typ), true
 	}
+}
+
+// connDeadline resolves the serial round trip's absolute connection
+// deadline: the sooner of the per-peer timeout and the caller's ctx
+// deadline. Zero means no deadline at all.
+func connDeadline(ctx context.Context, timeout time.Duration) time.Time {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (deadline.IsZero() || cd.Before(deadline)) {
+		deadline = cd
+	}
+	return deadline
 }
 
 // ensureConnTimedLocked is ensureConnLocked with dial timing captured into

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ValueHistogram is the unitless sibling of Histogram: log-2 buckets from 1
+// upward for non-negative integer observations that are counts rather than
+// durations — the serve gateway's batch sizes land here. Same bounded-memory
+// design: ~32 counters, quantiles by log-linear interpolation. The zero
+// value is ready to use.
+type ValueHistogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [valueHistBuckets]atomic.Int64 // bucket i counts v <= 1<<i
+}
+
+// valueHistBuckets log-2 buckets from 1: the last finite bound is 2^30;
+// larger observations land in the implicit +Inf overflow bucket.
+const valueHistBuckets = 31
+
+// valueBound returns the inclusive upper bound of bucket i.
+func valueBound(i int) int64 { return 1 << uint(i) }
+
+// Observe records one value (negatives clamp to 0).
+func (h *ValueHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for i := 0; i < valueHistBuckets; i++ {
+		if v <= valueBound(i) {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *ValueHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *ValueHistogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observation, or 0 with no samples.
+func (h *ValueHistogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) estimated by linear
+// interpolation inside the holding bucket. With no samples it returns 0;
+// observations beyond the last finite bucket report its bound.
+func (h *ValueHistogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i := 0; i < valueHistBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(valueBound(i - 1))
+			}
+			hi := float64(valueBound(i))
+			frac := float64(rank-cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return float64(valueBound(valueHistBuckets - 1))
+}
+
+// String renders a one-line digest matching Histogram's shape.
+func (h *ValueHistogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.1f p95=%.1f p99=%.1f",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}
+
+// cumulative returns (bound, cumulative count) pairs for the Prometheus
+// exposition, trimmed after the bucket that reaches the total (always
+// emitting at least the <=512 buckets, mirroring Histogram).
+func (h *ValueHistogram) cumulative() (bounds []int64, counts []int64) {
+	var cum int64
+	total := h.count.Load()
+	for i := 0; i < valueHistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		bounds = append(bounds, valueBound(i))
+		counts = append(counts, cum)
+		if cum == total && i >= 9 {
+			break
+		}
+	}
+	return bounds, counts
+}
+
+// ValueHistogramSet is a named collection of value histograms created on
+// first use. Safe for concurrent use.
+type ValueHistogramSet struct {
+	mu sync.Mutex
+	m  map[string]*ValueHistogram
+}
+
+// NewValueHistogramSet returns an empty set.
+func NewValueHistogramSet() *ValueHistogramSet {
+	return &ValueHistogramSet{m: make(map[string]*ValueHistogram)}
+}
+
+// Histogram returns the histogram registered under name, creating it at
+// zero on first use.
+func (s *ValueHistogramSet) Histogram(name string) *ValueHistogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.m[name]
+	if !ok {
+		h = &ValueHistogram{}
+		s.m[name] = h
+	}
+	return h
+}
+
+// Observe is shorthand for Histogram(name).Observe(v).
+func (s *ValueHistogramSet) Observe(name string, v int64) {
+	s.Histogram(name).Observe(v)
+}
+
+// Names returns the registered histogram names, sorted.
+func (s *ValueHistogramSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders one digest line per histogram, sorted by name.
+func (s *ValueHistogramSet) String() string {
+	var out string
+	for _, name := range s.Names() {
+		out += fmt.Sprintf("%s: %s\n", name, s.Histogram(name).String())
+	}
+	return out
+}
+
+// WriteValuePrometheus renders value-histogram sets in the text exposition
+// format: cumulative le buckets in raw units (no _seconds suffix), _sum and
+// _count, names prefixed "teamnet_" like WritePrometheus. Nil sets are
+// skipped.
+func WriteValuePrometheus(w io.Writer, sets []*ValueHistogramSet) error {
+	const prefix = "teamnet_"
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		for _, name := range s.Names() {
+			h := s.Histogram(name)
+			bounds, cumCounts := h.cumulative()
+			base := prefix + sanitizeMetricName(name)
+			for i, bound := range bounds {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", base, bound, cumCounts[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n", base, h.Sum()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", base, h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

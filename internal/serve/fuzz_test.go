@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Fuzz target for the gateway's HTTP request decoder: ParsePredict faces
+// JSON from untrusted clients and must never panic, and everything it
+// accepts must satisfy the invariants the batcher depends on (rectangular,
+// non-empty, finite, within the row budget). `go test` runs the seed
+// corpus; `go test -fuzz=FuzzParsePredict ./internal/serve` explores
+// further. The seeds are mirrored into TestParsePredictSeedCorpus
+// (seeds_test.go) so the verify target's -run Test path executes them too.
+
+func parsePredictSeeds() []string {
+	return []string{
+		``,
+		`{}`,
+		`{"x": []}`,
+		`{"x": [[]]}`,                // zero-width row
+		`{"x": [[1, 2], []]}`,        // ragged: second row empty
+		`{"x": [[1], [2, 3]]}`,       // ragged: second row wider
+		`{"x": [[1e999]]}`,           // overflows float64 → +Inf in some decoders
+		`{"x": [[1.5, -2.5, 3.25]]}`, // valid single row
+		`{"x": [[0]], "timeout_ms": -1}`,
+		`{"x": [[0]], "timeout_ms": 250, "priority": "high"}`,
+		`{"x": [[0]], "priority": "urgent"}`, // unknown lane
+		`{"x": [[0]], "bogus": true}`,        // unknown field
+		`{"x": [[0]]} trailing`,              // trailing garbage
+		`{"x": "not an array"}`,
+		`{"x": [[null]]}`,
+		`{"x": [["NaN"]]}`,
+		`[[1, 2]]`,                                     // bare array, not an object
+		`{"x": [[1],[2],[3],[4],[5],[6],[7],[8],[9]]}`, // over an 8-row budget
+	}
+}
+
+func checkParsePredict(t *testing.T, body string, maxRows int) {
+	t.Helper()
+	x, _, timeout, err := ParsePredict(strings.NewReader(body), maxRows)
+	if err != nil {
+		return
+	}
+	if x == nil || x.Rank() != 2 {
+		t.Fatalf("accepted input decoded to non-matrix tensor: %v", x)
+	}
+	rows, width := x.Shape[0], x.Shape[1]
+	if rows < 1 || width < 1 {
+		t.Fatalf("accepted empty tensor %dx%d from %q", rows, width, body)
+	}
+	if maxRows > 0 && rows > maxRows {
+		t.Fatalf("accepted %d rows past budget %d from %q", rows, maxRows, body)
+	}
+	if len(x.Data) != rows*width {
+		t.Fatalf("tensor data length %d != %d*%d", len(x.Data), rows, width)
+	}
+	for i, v := range x.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("accepted non-finite value %v at flat index %d from %q", v, i, body)
+		}
+	}
+	if timeout < 0 {
+		t.Fatalf("accepted negative timeout %v from %q", timeout, body)
+	}
+}
+
+func FuzzParsePredict(f *testing.F) {
+	for _, seed := range parsePredictSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		checkParsePredict(t, body, 8)
+	})
+}

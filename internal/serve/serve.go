@@ -1,0 +1,559 @@
+// Package serve is the batching, deadline-aware inference gateway that
+// stands between many concurrent callers and one cluster master. The
+// cluster runtime (PR 4's multiplexed links) can carry many inferences in
+// flight, but every caller still drives Master.Infer one blocking batch at
+// a time; this package turns that capacity into a serving layer:
+//
+//   - a bounded admission queue with load shedding: a full queue rejects
+//     instantly (ErrQueueFull, "serve.shed.queue_full"), and requests whose
+//     deadline expired while queued are dropped before wasting a broadcast
+//     ("serve.shed.expired") — under overload the gateway degrades by
+//     answering fewer requests fast instead of all requests late;
+//   - two priority lanes (PriorityHigh drains first) so latency-critical
+//     traffic overtakes bulk traffic at the same queue;
+//   - a dynamic micro-batcher: queued single-sample (or small-batch)
+//     requests coalesce into one tensor batch under a MaxBatch/MaxLinger
+//     policy, a worker pool dispatches the batch through
+//     Master.InferContext — one broadcast round trip amortized over every
+//     row — and the per-row results (probs, winner, entropy) scatter back
+//     to their callers;
+//   - deadline plumbing end to end: each request's context bounds its queue
+//     wait and its share of the dispatched batch, and an expired request
+//     stops burning peer round trips (see Master.InferContext).
+//
+// Everything is observable: gauges ("serve.queue_depth",
+// "serve.inflight_batches"), latency histograms ("serve.queue_wait",
+// "serve.e2e"), the batch-size value histogram ("serve.batch_size"), shed
+// and timeout counters, and — with a tracer installed — a "serve.batch"
+// span per dispatch whose children are the coalesced requests and the
+// cluster's "infer" span tree.
+//
+// The HTTP front-end in http.go exposes Predict as a JSON endpoint; the
+// teamnet-serve command wires both to a live master.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/metrics"
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
+)
+
+// Backend is the inference engine behind the gateway: *cluster.Master in
+// production, a scripted fake in tests. InferContext must honor ctx
+// cancellation and be safe for concurrent calls.
+type Backend interface {
+	InferContext(ctx context.Context, x *tensor.Tensor) (probs *tensor.Tensor, winners []int, err error)
+}
+
+// Config tunes the gateway. The zero value means "use the defaults" for
+// every field.
+type Config struct {
+	// MaxBatch is the row budget per dispatched batch; a batch is flushed
+	// the moment it is full. Default 16.
+	MaxBatch int
+	// MaxLinger bounds how long the batcher waits for more rows after the
+	// first request of a batch arrives — the latency price paid for
+	// coalescing. Default 2ms.
+	MaxLinger time.Duration
+	// QueueSize bounds each admission lane; a full lane sheds instantly.
+	// Default 256.
+	QueueSize int
+	// Workers is the number of concurrent batch dispatches. More workers
+	// keep the pipeline full while a batch waits on the network; the mux
+	// window bounds what actually rides each peer link. Default 2.
+	Workers int
+	// DefaultTimeout is applied to requests whose context carries no
+	// deadline of its own. Zero leaves them unbounded.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) normalized() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 2 * time.Millisecond
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	return c
+}
+
+// Priority selects an admission lane.
+type Priority int
+
+const (
+	// PriorityNormal is the default lane.
+	PriorityNormal Priority = iota
+	// PriorityHigh drains before normal traffic at every coalescing step.
+	PriorityHigh
+)
+
+// Gateway errors. Deadline expiry surfaces as the request context's error
+// (context.DeadlineExceeded / context.Canceled), not a gateway sentinel.
+var (
+	// ErrQueueFull rejects a request at admission: the lane is at
+	// QueueSize. HTTP maps it to 429.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed fails requests caught in a gateway shutdown.
+	ErrClosed = errors.New("serve: gateway closed")
+	// ErrTooManyRows rejects a request larger than MaxBatch — the gateway
+	// coalesces small requests; oversized batches belong on Master.Infer
+	// directly.
+	ErrTooManyRows = errors.New("serve: request exceeds the gateway's max batch")
+)
+
+// Result is one request's share of a dispatched batch: its own rows'
+// combined probabilities, winning node per row, and the predictive entropy
+// of each winning distribution.
+type Result struct {
+	Probs   *tensor.Tensor
+	Winners []int
+	Entropy []float64
+}
+
+type response struct {
+	res Result
+	err error
+}
+
+// request is one queued unit of work.
+type request struct {
+	x    *tensor.Tensor
+	ctx  context.Context
+	enq  time.Time
+	resc chan response // buffered 1: the batcher never blocks on a gone caller
+}
+
+// Gateway is the serving layer. Create with New, stop with Close. Methods
+// are safe for concurrent use.
+type Gateway struct {
+	cfg     Config
+	backend Backend
+
+	counters   *metrics.CounterSet
+	gauges     *metrics.GaugeSet
+	hists      *metrics.HistogramSet
+	valueHists *metrics.ValueHistogramSet
+
+	trMu sync.Mutex
+	tr   *trace.Tracer
+
+	lanes    [2]chan *request // index by laneIdx: 0 = high, 1 = normal
+	dispatch chan []*request
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New starts a gateway over backend: the batcher goroutine plus
+// cfg.Workers dispatch workers.
+func New(backend Backend, cfg Config) *Gateway {
+	cfg = cfg.normalized()
+	g := &Gateway{
+		cfg:        cfg,
+		backend:    backend,
+		counters:   metrics.NewCounterSet(),
+		gauges:     metrics.NewGaugeSet(),
+		hists:      metrics.NewHistogramSet(),
+		valueHists: metrics.NewValueHistogramSet(),
+		dispatch:   make(chan []*request),
+		quit:       make(chan struct{}),
+	}
+	g.lanes[0] = make(chan *request, cfg.QueueSize)
+	g.lanes[1] = make(chan *request, cfg.QueueSize)
+	g.wg.Add(1)
+	go g.batchLoop()
+	for i := 0; i < cfg.Workers; i++ {
+		g.wg.Add(1)
+		go g.workerLoop()
+	}
+	return g
+}
+
+// laneIdx maps a Priority onto its lane slot (high first).
+func laneIdx(p Priority) int {
+	if p == PriorityHigh {
+		return 0
+	}
+	return 1
+}
+
+// Counters exposes the gateway's event counters ("serve.requests",
+// "serve.shed.queue_full", "serve.shed.expired", "serve.timeouts",
+// "serve.batches", "serve.batch_errors").
+func (g *Gateway) Counters() *metrics.CounterSet { return g.counters }
+
+// Gauges exposes the gateway's level metrics ("serve.queue_depth",
+// "serve.inflight_batches").
+func (g *Gateway) Gauges() *metrics.GaugeSet { return g.gauges }
+
+// Histograms exposes the gateway's latency histograms ("serve.queue_wait",
+// "serve.e2e").
+func (g *Gateway) Histograms() *metrics.HistogramSet { return g.hists }
+
+// ValueHistograms exposes the unitless histograms ("serve.batch_size").
+func (g *Gateway) ValueHistograms() *metrics.ValueHistogramSet { return g.valueHists }
+
+// SetTracer installs (or, with nil, removes) the gateway's span collector.
+// Install the master's tracer here so each "serve.batch" span and the
+// cluster's "infer" subtree land in one ring.
+func (g *Gateway) SetTracer(tr *trace.Tracer) {
+	g.trMu.Lock()
+	g.tr = tr
+	g.trMu.Unlock()
+}
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (g *Gateway) Tracer() *trace.Tracer {
+	g.trMu.Lock()
+	defer g.trMu.Unlock()
+	return g.tr
+}
+
+// Options tune one Predict call.
+type Options struct {
+	Priority Priority
+}
+
+// Predict queues x (rows × features, 1..MaxBatch rows) on the normal lane
+// and blocks until its share of a dispatched batch scatters back, the
+// context expires, or the gateway sheds it.
+func (g *Gateway) Predict(ctx context.Context, x *tensor.Tensor) (Result, error) {
+	return g.PredictOpts(ctx, x, Options{})
+}
+
+// PredictOpts is Predict with an explicit priority lane.
+func (g *Gateway) PredictOpts(ctx context.Context, x *tensor.Tensor, opts Options) (Result, error) {
+	if x == nil || x.Rank() != 2 || x.Shape[0] < 1 || x.Shape[1] < 1 {
+		return Result{}, fmt.Errorf("serve: input must be a non-empty rows×features tensor")
+	}
+	if x.Shape[0] > g.cfg.MaxBatch {
+		return Result{}, fmt.Errorf("%w: %d rows > %d", ErrTooManyRows, x.Shape[0], g.cfg.MaxBatch)
+	}
+	if g.cfg.DefaultTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, g.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	g.counters.Counter("serve.requests").Inc()
+	req := &request{x: x, ctx: ctx, enq: time.Now(), resc: make(chan response, 1)}
+
+	// Admission: reject-on-full, never block the caller on a queue.
+	select {
+	case g.lanes[laneIdx(opts.Priority)] <- req:
+		g.gauges.Gauge("serve.queue_depth").Inc()
+	case <-g.quit:
+		return Result{}, ErrClosed
+	default:
+		g.counters.Counter("serve.shed.queue_full").Inc()
+		return Result{}, ErrQueueFull
+	}
+
+	select {
+	case r := <-req.resc:
+		g.hists.Observe("serve.e2e", time.Since(req.enq))
+		return r.res, r.err
+	case <-ctx.Done():
+		// The request may still be queued (the batcher will shed it as
+		// expired) or mid-batch (its row computes, nobody reads it); either
+		// way this caller is done waiting.
+		g.counters.Counter("serve.timeouts").Inc()
+		g.hists.Observe("serve.e2e", time.Since(req.enq))
+		return Result{}, ctx.Err()
+	case <-g.quit:
+		return Result{}, ErrClosed
+	}
+}
+
+// Close stops the gateway: queued and not-yet-dispatched requests fail with
+// ErrClosed, in-flight batches finish, workers drain, then Close returns.
+// The backend is not closed — the gateway borrows it.
+func (g *Gateway) Close() error {
+	g.quitOnce.Do(func() { close(g.quit) })
+	g.wg.Wait()
+	return nil
+}
+
+// --- batcher ---------------------------------------------------------------
+
+// batchLoop is the single coalescing goroutine: block for a first request,
+// linger for more until the row budget or the clock runs out, hand the
+// batch to a worker.
+func (g *Gateway) batchLoop() {
+	defer g.wg.Done()
+	defer close(g.dispatch)
+	var held *request // deferred to the next batch on a feature-width change
+	for {
+		first := held
+		held = nil
+		if first == nil {
+			first = g.nextRequest()
+			if first == nil {
+				g.drainLanes()
+				return
+			}
+		}
+		if g.shedExpired(first) {
+			continue
+		}
+		batch := []*request{first}
+		rows, width := first.x.Shape[0], first.x.Shape[1]
+		linger := time.NewTimer(g.cfg.MaxLinger)
+		for rows < g.cfg.MaxBatch {
+			req, open := g.lingerRequest(linger.C)
+			if req == nil {
+				if !open {
+					linger.Stop()
+					g.respondAll(batch, ErrClosed)
+					g.drainLanes()
+					return
+				}
+				break // linger expired: flush what we have
+			}
+			if g.shedExpired(req) {
+				continue
+			}
+			if req.x.Shape[1] != width {
+				// Mixed feature widths cannot share one tensor: flush the
+				// current batch and lead the next one with this request.
+				held = req
+				break
+			}
+			batch = append(batch, req)
+			rows += req.x.Shape[0]
+		}
+		linger.Stop()
+		select {
+		case g.dispatch <- batch:
+		case <-g.quit:
+			g.respondAll(batch, ErrClosed)
+		}
+	}
+}
+
+// nextRequest blocks for the first request of a batch, high lane first.
+// nil means the gateway is closing.
+func (g *Gateway) nextRequest() *request {
+	// Fast path: drain high-priority work before even looking at normal.
+	select {
+	case req := <-g.lanes[0]:
+		g.gauges.Gauge("serve.queue_depth").Dec()
+		return req
+	default:
+	}
+	select {
+	case req := <-g.lanes[0]:
+		g.gauges.Gauge("serve.queue_depth").Dec()
+		return req
+	case req := <-g.lanes[1]:
+		g.gauges.Gauge("serve.queue_depth").Dec()
+		return req
+	case <-g.quit:
+		return nil
+	}
+}
+
+// lingerRequest waits for one more request while the linger clock runs.
+// (nil, true) means the linger expired; (nil, false) means shutdown.
+func (g *Gateway) lingerRequest(lingerC <-chan time.Time) (*request, bool) {
+	select {
+	case req := <-g.lanes[0]:
+		g.gauges.Gauge("serve.queue_depth").Dec()
+		return req, true
+	default:
+	}
+	select {
+	case req := <-g.lanes[0]:
+		g.gauges.Gauge("serve.queue_depth").Dec()
+		return req, true
+	case req := <-g.lanes[1]:
+		g.gauges.Gauge("serve.queue_depth").Dec()
+		return req, true
+	case <-lingerC:
+		return nil, true
+	case <-g.quit:
+		return nil, false
+	}
+}
+
+// shedExpired drops a request whose caller already stopped waiting,
+// before it costs a broadcast.
+func (g *Gateway) shedExpired(r *request) bool {
+	if err := r.ctx.Err(); err != nil {
+		g.counters.Counter("serve.shed.expired").Inc()
+		r.resc <- response{err: err}
+		return true
+	}
+	return false
+}
+
+// respondAll fails every member of a batch with err.
+func (g *Gateway) respondAll(batch []*request, err error) {
+	for _, r := range batch {
+		r.resc <- response{err: err}
+	}
+}
+
+// drainLanes fails everything still queued during shutdown.
+func (g *Gateway) drainLanes() {
+	for _, lane := range g.lanes {
+		for {
+			select {
+			case req := <-lane:
+				g.gauges.Gauge("serve.queue_depth").Dec()
+				req.resc <- response{err: ErrClosed}
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+// --- dispatch workers ------------------------------------------------------
+
+func (g *Gateway) workerLoop() {
+	defer g.wg.Done()
+	for batch := range g.dispatch {
+		g.runBatch(batch)
+	}
+}
+
+// batchDeadline resolves the coalesced batch's dispatch deadline: the
+// LATEST member deadline, so the batch can serve its longest-lived member;
+// rows whose own caller expires earlier are simply not read. A single
+// member with no deadline unbounds the batch.
+func batchDeadline(batch []*request) (time.Time, bool) {
+	var latest time.Time
+	for _, r := range batch {
+		dl, ok := r.ctx.Deadline()
+		if !ok {
+			return time.Time{}, false
+		}
+		if dl.After(latest) {
+			latest = dl
+		}
+	}
+	return latest, true
+}
+
+// runBatch coalesces the batch's rows into one tensor, drives the backend,
+// and scatters per-row results back to each caller.
+func (g *Gateway) runBatch(batch []*request) {
+	g.gauges.Gauge("serve.inflight_batches").Inc()
+	defer g.gauges.Gauge("serve.inflight_batches").Dec()
+
+	rows := 0
+	for _, r := range batch {
+		rows += r.x.Shape[0]
+	}
+	g.counters.Counter("serve.batches").Inc()
+	g.counters.Counter("serve.batched_rows").Add(int64(rows))
+	g.valueHists.Observe("serve.batch_size", int64(rows))
+
+	dispatchStart := time.Now()
+	for _, r := range batch {
+		g.hists.Observe("serve.queue_wait", dispatchStart.Sub(r.enq))
+	}
+
+	// Gather: one contiguous rows×features tensor.
+	width := batch[0].x.Shape[1]
+	x := tensor.New(rows, width)
+	off := 0
+	for _, r := range batch {
+		for i := 0; i < r.x.Shape[0]; i++ {
+			copy(x.RowSlice(off), r.x.RowSlice(i))
+			off++
+		}
+	}
+
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if dl, ok := batchDeadline(batch); ok {
+		ctx, cancel = context.WithDeadline(ctx, dl)
+	}
+	defer cancel()
+
+	tr := g.Tracer()
+	span := tr.Start(trace.Context{}, "serve.batch")
+	ctx = trace.NewContext(ctx, span.Ctx())
+
+	probs, winners, err := g.inferGuarded(ctx, x)
+	span.EndErr(err)
+	if err == nil && (probs == nil || probs.Shape[0] != rows || len(winners) != rows) {
+		err = fmt.Errorf("serve: backend returned %d result rows for a %d-row batch", resultRows(probs, winners), rows)
+	}
+	if err != nil {
+		g.counters.Counter("serve.batch_errors").Inc()
+		g.scatterError(tr, span.Ctx(), batch, dispatchStart, err)
+		return
+	}
+	ent := tensor.EntropyRows(probs)
+
+	// Scatter: each caller gets exactly its own rows back, plus a
+	// "serve.request" span (queue wait as a child) linked under the batch.
+	off = 0
+	for _, r := range batch {
+		n := r.x.Shape[0]
+		res := Result{
+			Probs:   tensor.New(n, probs.Shape[1]),
+			Winners: append([]int(nil), winners[off:off+n]...),
+			Entropy: append([]float64(nil), ent.Data[off:off+n]...),
+		}
+		for i := 0; i < n; i++ {
+			copy(res.Probs.RowSlice(i), probs.RowSlice(off+i))
+		}
+		off += n
+		reqSpan := tr.Record(span.Ctx(), "serve.request", "", "", r.enq, time.Since(r.enq))
+		tr.Record(reqSpan, "queue.wait", "", "", r.enq, dispatchStart.Sub(r.enq))
+		r.resc <- response{res: res}
+	}
+}
+
+// inferGuarded drives the backend with a panic guard: a model fed a batch
+// it cannot take (e.g. a feature width the network was not built for)
+// panics deep in the math layers, and without the recover that would kill
+// the whole gateway process on one malformed-but-well-formed request. The
+// panic becomes this batch's error ("serve.panics" counted); other batches
+// are untouched.
+func (g *Gateway) inferGuarded(ctx context.Context, x *tensor.Tensor) (probs *tensor.Tensor, winners []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.counters.Counter("serve.panics").Inc()
+			probs, winners = nil, nil
+			err = fmt.Errorf("serve: inference panic: %v", r)
+		}
+	}()
+	return g.backend.InferContext(ctx, x)
+}
+
+// scatterError fails every member and records their spans with error
+// status, so a failed batch is as visible in the ring as a served one.
+func (g *Gateway) scatterError(tr *trace.Tracer, batchCtx trace.Context, batch []*request, dispatchStart time.Time, err error) {
+	for _, r := range batch {
+		reqSpan := tr.Record(batchCtx, "serve.request", "", trace.StatusError, r.enq, time.Since(r.enq))
+		tr.Record(reqSpan, "queue.wait", "", "", r.enq, dispatchStart.Sub(r.enq))
+		r.resc <- response{err: err}
+	}
+}
+
+// resultRows sizes a malformed backend reply for the error message.
+func resultRows(probs *tensor.Tensor, winners []int) int {
+	if probs != nil {
+		return probs.Shape[0]
+	}
+	return len(winners)
+}

@@ -1,0 +1,28 @@
+package trace
+
+import "context"
+
+// Span-context propagation through context.Context, so layers that already
+// thread a context (the serve gateway, Master.InferContext) can parent their
+// spans without growing every signature by a trace.Context. The gateway uses
+// this to link each coalesced batch's "infer" span tree under its own
+// "serve.batch" span: it stamps the batch span's Context into the
+// context.Context it dispatches with, and InferContext picks it up as the
+// root span's parent.
+
+// ctxKey is the private context key for a propagated span Context.
+type ctxKey struct{}
+
+// NewContext returns a copy of ctx carrying c as the ambient span parent.
+func NewContext(ctx context.Context, c Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the ambient span parent stamped by NewContext, or the
+// zero Context (meaning "start a new trace") when none is present.
+func FromContext(ctx context.Context) Context {
+	if c, ok := ctx.Value(ctxKey{}).(Context); ok {
+		return c
+	}
+	return Context{}
+}
