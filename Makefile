@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fmt-check docs bench bench-throughput bench-serve clean
+.PHONY: build test verify fmt-check docs bench bench-throughput bench-serve bench-soak bench-check clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ verify: fmt-check docs
 	$(GO) vet ./...
 	$(GO) test -short ./...
 	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/... ./internal/trace/... ./internal/serve/...
+	$(GO) test -race -short -count=1 ./internal/bench/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -44,6 +45,19 @@ bench-throughput:
 # the JSON artifact records the micro-batching goodput win (DESIGN.md §9).
 bench-serve:
 	$(GO) run ./cmd/teamnet-bench -serve -qps 8000 -replicas 4 -duration 3s -out BENCH_serve.json
+
+# Chaos soak: minutes of Poisson load through the full gateway stack while a
+# scripted fault timeline stalls, resets and heals workers (stall at t/4,
+# reset at t/2, heal at 3t/4). Exits non-zero if any interval records zero
+# goodput or tail latency never recovers after the heal (docs/OPERATIONS.md).
+bench-soak:
+	$(GO) run ./cmd/teamnet-bench -soak -soak-duration 2m -out BENCH_soak.json
+
+# Regression gate: re-run the throughput and serving benchmarks with the
+# committed BENCH_*.json configurations and fail on >20% goodput/QPS loss or
+# >20% p99 growth. A shorter re-run window keeps it CI-sized.
+bench-check:
+	$(GO) run ./cmd/teamnet-bench -check -check-duration 2s
 
 clean:
 	$(GO) clean ./...

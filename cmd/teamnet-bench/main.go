@@ -56,8 +56,21 @@ func run() error {
 		serveBench = flag.Bool("serve", false, "run the open-loop direct-vs-gateway serving benchmark")
 		targetQPS  = flag.Int("qps", 8000, "serve: offered Poisson arrival rate, requests/second")
 		reqDl      = flag.Duration("req-deadline", 300*time.Millisecond, "serve: per-request deadline")
-		maxBatch   = flag.Int("max-batch", 16, "serve: gateway row budget per coalesced batch")
-		linger     = flag.Duration("linger", 2*time.Millisecond, "serve: gateway flush timer")
+		maxBatch   = flag.Int("max-batch", 16, "serve/soak: gateway row budget per coalesced batch")
+		linger     = flag.Duration("linger", 2*time.Millisecond, "serve/soak: gateway flush timer")
+
+		soak         = flag.Bool("soak", false, "run the chaos soak: Poisson load through the full gateway stack under a scripted fault timeline")
+		soakQPS      = flag.Int("soak-qps", 800, "soak: offered Poisson arrival rate, requests/second")
+		soakDuration = flag.Duration("soak-duration", 2*time.Minute, "soak: total run length")
+		soakInterval = flag.Duration("soak-interval", 5*time.Second, "soak: time-series bucket width")
+		soakDeadline = flag.Duration("soak-deadline", 250*time.Millisecond, "soak: per-request deadline (and gateway SLO target)")
+		soakWorkers  = flag.Int("soak-workers", 3, "soak: worker nodes, each behind its own chaos proxy")
+
+		check    = flag.Bool("check", false, "re-run benchmarks with committed configs and fail on >tolerance regression")
+		checkTp  = flag.String("check-throughput", "BENCH_throughput.json", "check: committed throughput artifact (\"\" skips)")
+		checkSv  = flag.String("check-serve", "BENCH_serve.json", "check: committed serve artifact (\"\" skips)")
+		checkDur = flag.Duration("check-duration", 0, "check: re-run window per mode (0 = the committed window)")
+		checkTol = flag.Float64("check-tolerance", bench.CheckTolerance, "check: allowed relative regression")
 	)
 	flag.Parse()
 
@@ -83,6 +96,30 @@ func run() error {
 			Linger:    *linger,
 			Seed:      *seed,
 		}, *out)
+	}
+
+	if *soak {
+		return runSoak(bench.SoakConfig{
+			TargetQPS: *soakQPS,
+			Duration:  *soakDuration,
+			Interval:  *soakInterval,
+			Deadline:  *soakDeadline,
+			Workers:   *soakWorkers,
+			Replicas:  *replicas,
+			NetDelay:  *netDelay,
+			MaxBatch:  *maxBatch,
+			Linger:    *linger,
+			Seed:      *seed,
+		}, *out)
+	}
+
+	if *check {
+		return runBenchCheck(bench.CheckConfig{
+			ThroughputPath: *checkTp,
+			ServePath:      *checkSv,
+			Duration:       *checkDur,
+			Tolerance:      *checkTol,
+		})
 	}
 
 	if *list {
@@ -155,6 +192,40 @@ func runServeBench(cfg bench.ServeBenchConfig, out string) error {
 	}
 	fmt.Println(report)
 	return writeReport(report, out)
+}
+
+// runSoak runs the chaos soak and records its time series.
+func runSoak(cfg bench.SoakConfig, out string) error {
+	report, err := bench.RunSoak(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	if err := writeReport(report, out); err != nil {
+		return err
+	}
+	s := report.Summary
+	if s.ZeroGoodputIntervals > 0 {
+		return fmt.Errorf("soak: %d intervals with zero goodput", s.ZeroGoodputIntervals)
+	}
+	if !s.Recovered {
+		return fmt.Errorf("soak: p99 never recovered after heal (baseline %.2fms, final %.2fms)", s.BaselineP99Ms, s.FinalP99Ms)
+	}
+	return nil
+}
+
+// runBenchCheck re-runs the committed benchmarks and fails the process on a
+// regression, so `make bench-check` gates like a test.
+func runBenchCheck(cfg bench.CheckConfig) error {
+	report, err := bench.RunBenchCheck(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	if !report.Pass {
+		return fmt.Errorf("benchmark regression past %.0f%% tolerance", report.Tolerance*100)
+	}
+	return nil
 }
 
 // writeReport records a benchmark report as a JSON artifact (out == ""

@@ -4,8 +4,13 @@
 // batches under a MaxBatch/MaxLinger policy, drives the collaborative
 // broadcast-gather protocol once per batch, and scatters per-row answers
 // back — amortizing every peer round trip over the whole batch. Overload is
-// shed at admission (HTTP 429) instead of queueing without bound, and
-// per-request deadlines turn into 504s rather than stuck connections.
+// shed at admission (HTTP 429, with a Retry-After derived from the queue
+// drain rate) instead of queueing without bound, and per-request deadlines
+// turn into 504s rather than stuck connections. With -degraded (the default)
+// quarantined or slow experts thin answers instead of failing them: partial
+// ensembles come back with degraded: true and quorum metadata, hedged peer
+// calls cover transient stragglers, and a brownout controller tightens
+// batching when the latency SLO burns (docs/OPERATIONS.md).
 //
 // Example, in front of two teamnet-node workers:
 //
@@ -58,10 +63,15 @@ func run() error {
 		workers  = flag.Int("workers", 2, "concurrent batch dispatches")
 		deadline = flag.Duration("deadline", 2*time.Second, "default per-request deadline when the client sends no timeout_ms (0 = none)")
 
-		timeout   = flag.Duration("timeout", 2*time.Second, "per-peer round-trip deadline (0 = none)")
-		retries   = flag.Int("retries", 1, "per-request retry budget for transient peer errors")
-		adminAddr = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address, e.g. :8091")
-		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown budget for in-flight HTTP requests on SIGINT")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-peer round-trip deadline (0 = none); keep this below -deadline so stalled peers fail as peer faults, not caller aborts")
+		retries = flag.Int("retries", 1, "per-request retry budget for transient peer errors")
+
+		degraded    = flag.Bool("degraded", true, "answer with partial ensembles (degraded: true + quorum metadata) when experts are quarantined or slow, instead of failing the batch")
+		slo         = flag.Duration("slo", 0, "latency SLO target for the brownout controller (0 = -deadline); sustained burn tightens linger and queue depth")
+		hedge       = flag.Bool("hedge", true, "hedge slow peer calls: duplicate a Predict on the same mux link once past the live per-peer p95, first reply wins")
+		retryBudget = flag.Float64("retry-budget", 0.1, "global retry budget as a fraction of request volume, shared across retries, probes and hedges (0 disables the cap)")
+		adminAddr   = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address, e.g. :8091")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown budget for in-flight HTTP requests on SIGINT")
 	)
 	flag.Parse()
 
@@ -87,6 +97,12 @@ func run() error {
 	master.SetTimeout(*timeout)
 	master.SetSupervisor(cluster.SupervisorConfig{MaxRetries: *retries})
 	master.SetTracer(trace.New("gateway", 0))
+	if *hedge {
+		master.SetHedge(cluster.HedgeConfig{Enabled: true})
+	}
+	if *retryBudget > 0 {
+		master.SetRetryBudget(cluster.NewRetryBudget(cluster.RetryBudgetConfig{Ratio: *retryBudget}))
+	}
 	for _, addr := range cli.SplitList(*peers) {
 		if err := master.Connect(addr); err != nil {
 			return err
@@ -98,12 +114,18 @@ func run() error {
 		fmt.Printf("warning: %v\n", err)
 	}
 
+	sloTarget := *slo
+	if sloTarget <= 0 {
+		sloTarget = *deadline
+	}
 	gw := serve.New(master, serve.Config{
 		MaxBatch:       *maxBatch,
 		MaxLinger:      *linger,
 		QueueSize:      *queue,
 		Workers:        *workers,
 		DefaultTimeout: *deadline,
+		Degraded:       *degraded,
+		SLOTarget:      sloTarget,
 	})
 	defer gw.Close()
 	gw.SetTracer(master.Tracer())

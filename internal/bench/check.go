@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Regression check: `make bench-check` re-runs the transport and serving
+// benchmarks with the configuration recorded in the committed
+// BENCH_throughput.json / BENCH_serve.json artifacts and fails when the
+// headline numbers regress past tolerance — >20% lower goodput/QPS or >20%
+// higher p99 by default. A short re-run is noisy, so each p99 limit also
+// carries a small absolute grace; throughput limits are purely relative.
+
+// CheckTolerance is the default allowed relative regression (20%).
+const CheckTolerance = 0.20
+
+// checkP99GraceMs absorbs scheduler noise in short re-runs: a p99 within
+// committed×(1+tol)+grace passes.
+const checkP99GraceMs = 3.0
+
+// CheckConfig points the regression check at the committed artifacts.
+type CheckConfig struct {
+	ThroughputPath string        // committed BENCH_throughput.json ("" skips)
+	ServePath      string        // committed BENCH_serve.json ("" skips)
+	Duration       time.Duration // re-run window per mode; 0 = the committed window
+	Tolerance      float64       // allowed relative regression; 0 = CheckTolerance
+}
+
+// CheckResult is one compared metric.
+type CheckResult struct {
+	Name      string  `json:"name"`
+	Committed float64 `json:"committed"`
+	Current   float64 `json:"current"`
+	Limit     float64 `json:"limit"` // pass boundary in the metric's own units
+	Pass      bool    `json:"pass"`
+}
+
+// CheckReport collects every compared metric; Pass is the conjunction.
+type CheckReport struct {
+	Tolerance float64       `json:"tolerance"`
+	Results   []CheckResult `json:"results"`
+	Pass      bool          `json:"pass"`
+}
+
+func (r *CheckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench-check: tolerance %.0f%%\n", r.Tolerance*100)
+	for _, c := range r.Results {
+		verdict := "ok"
+		if !c.Pass {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(&b, "  %-28s committed %9.2f  current %9.2f  limit %9.2f  %s\n",
+			c.Name, c.Committed, c.Current, c.Limit, verdict)
+	}
+	if r.Pass {
+		b.WriteString("  PASS")
+	} else {
+		b.WriteString("  FAIL")
+	}
+	return b.String()
+}
+
+// checkFloor compares a higher-is-better metric (QPS, goodput) against the
+// committed baseline: current must hold (1 - tol) of it.
+func checkFloor(name string, committed, current, tol float64) CheckResult {
+	limit := committed * (1 - tol)
+	return CheckResult{Name: name, Committed: committed, Current: current, Limit: limit, Pass: current >= limit}
+}
+
+// checkCeiling compares a lower-is-better latency metric: current must stay
+// under committed×(1+tol) plus the absolute grace.
+func checkCeiling(name string, committed, current, tol float64) CheckResult {
+	limit := committed*(1+tol) + checkP99GraceMs
+	return CheckResult{Name: name, Committed: committed, Current: current, Limit: limit, Pass: current <= limit}
+}
+
+// EvaluateThroughputCheck reduces a committed/current report pair to the
+// compared metrics (pure; unit-tested without running anything).
+func EvaluateThroughputCheck(committed, current *ThroughputReport, tol float64) []CheckResult {
+	return []CheckResult{
+		checkFloor("throughput.mux.qps", committed.Mux.QPS, current.Mux.QPS, tol),
+		checkCeiling("throughput.mux.p99_ms", committed.Mux.P99Ms, current.Mux.P99Ms, tol),
+	}
+}
+
+// EvaluateServeCheck is the serving benchmark's half: gateway goodput floor
+// and gateway p99 ceiling.
+func EvaluateServeCheck(committed, current *ServeBenchReport, tol float64) []CheckResult {
+	return []CheckResult{
+		checkFloor("serve.gateway.goodput_qps", committed.Gateway.GoodputQPS, current.Gateway.GoodputQPS, tol),
+		checkCeiling("serve.gateway.p99_ms", committed.Gateway.P99Ms, current.Gateway.P99Ms, tol),
+	}
+}
+
+// RunBenchCheck loads the committed artifacts, re-runs each benchmark with
+// the committed configuration (at cfg.Duration when set), and compares. A
+// regression is reported in the CheckReport, not as an error — errors mean
+// the check itself could not run.
+func RunBenchCheck(cfg CheckConfig) (*CheckReport, error) {
+	tol := cfg.Tolerance
+	if tol <= 0 {
+		tol = CheckTolerance
+	}
+	report := &CheckReport{Tolerance: tol, Pass: true}
+
+	if cfg.ThroughputPath != "" {
+		var committed ThroughputReport
+		if err := readJSON(cfg.ThroughputPath, &committed); err != nil {
+			return nil, err
+		}
+		dur := cfg.Duration
+		if dur <= 0 {
+			dur = time.Duration(committed.DurationSec * float64(time.Second))
+		}
+		current, err := RunThroughput(ThroughputConfig{
+			Clients:  committed.Clients,
+			Replicas: committed.Replicas,
+			Batch:    committed.Batch,
+			Duration: dur,
+			NetDelay: netDelayFromMs(committed.NetDelayMs),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench-check: throughput re-run: %w", err)
+		}
+		report.Results = append(report.Results, EvaluateThroughputCheck(&committed, current, tol)...)
+	}
+
+	if cfg.ServePath != "" {
+		var committed ServeBenchReport
+		if err := readJSON(cfg.ServePath, &committed); err != nil {
+			return nil, err
+		}
+		dur := cfg.Duration
+		if dur <= 0 {
+			dur = time.Duration(committed.DurationSec * float64(time.Second))
+		}
+		current, err := RunServeBench(ServeBenchConfig{
+			TargetQPS: committed.TargetQPS,
+			Duration:  dur,
+			Deadline:  time.Duration(committed.DeadlineMs * float64(time.Millisecond)),
+			Replicas:  committed.Replicas,
+			NetDelay:  netDelayFromMs(committed.NetDelayMs),
+			MaxBatch:  committed.MaxBatch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench-check: serve re-run: %w", err)
+		}
+		report.Results = append(report.Results, EvaluateServeCheck(&committed, current, tol)...)
+	}
+
+	if len(report.Results) == 0 {
+		return nil, fmt.Errorf("bench-check: nothing to check (no artifact paths)")
+	}
+	for _, c := range report.Results {
+		if !c.Pass {
+			report.Pass = false
+		}
+	}
+	return report, nil
+}
+
+// netDelayFromMs restores the config's NetDelay from the recorded
+// milliseconds; a recorded 0 means raw loopback, which the config spells
+// as a negative delay.
+func netDelayFromMs(msv float64) time.Duration {
+	if msv <= 0 {
+		return -1
+	}
+	return time.Duration(msv * float64(time.Millisecond))
+}
+
+func readJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-check: %w", err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("bench-check: %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Pure comparison tests for the bench-check regression gate: floors on
+// higher-is-better metrics, ceilings (with absolute grace) on latency.
+
+func TestCheckFloorAndCeiling(t *testing.T) {
+	if c := checkFloor("qps", 1000, 801, 0.2); !c.Pass {
+		t.Fatalf("801 vs 1000 at 20%% tolerance must pass: %+v", c)
+	}
+	if c := checkFloor("qps", 1000, 799, 0.2); c.Pass {
+		t.Fatalf("799 vs 1000 at 20%% tolerance must fail: %+v", c)
+	}
+	// Ceiling: limit = committed×1.2 + 3ms grace.
+	if c := checkCeiling("p99", 10, 14.9, 0.2); !c.Pass {
+		t.Fatalf("14.9ms vs 10ms (limit 15ms) must pass: %+v", c)
+	}
+	if c := checkCeiling("p99", 10, 15.1, 0.2); c.Pass {
+		t.Fatalf("15.1ms vs 10ms (limit 15ms) must fail: %+v", c)
+	}
+}
+
+func TestEvaluateChecksAndReportString(t *testing.T) {
+	committed := &ThroughputReport{Mux: ThroughputResult{QPS: 1200, P99Ms: 12}}
+	current := &ThroughputReport{Mux: ThroughputResult{QPS: 1100, P99Ms: 13}}
+	results := EvaluateThroughputCheck(committed, current, 0.2)
+	if len(results) != 2 || !results[0].Pass || !results[1].Pass {
+		t.Fatalf("mild drift flagged as regression: %+v", results)
+	}
+
+	cs := &ServeBenchReport{Gateway: ServeBenchResult{GoodputQPS: 8000, P99Ms: 30}}
+	cur := &ServeBenchReport{Gateway: ServeBenchResult{GoodputQPS: 100, P99Ms: 300}}
+	sresults := EvaluateServeCheck(cs, cur, 0.2)
+	if sresults[0].Pass || sresults[1].Pass {
+		t.Fatalf("collapse not flagged: %+v", sresults)
+	}
+
+	report := &CheckReport{Tolerance: 0.2, Results: append(results, sresults...)}
+	report.Pass = false
+	s := report.String()
+	if !strings.Contains(s, "REGRESSED") || !strings.Contains(s, "FAIL") {
+		t.Fatalf("report string hides the regression:\n%s", s)
+	}
+}
+
+func TestRunBenchCheckNeedsArtifacts(t *testing.T) {
+	if _, err := RunBenchCheck(CheckConfig{}); err == nil {
+		t.Fatal("no artifact paths must be an error, not a silent pass")
+	}
+	if _, err := RunBenchCheck(CheckConfig{ThroughputPath: "does/not/exist.json"}); err == nil {
+		t.Fatal("a missing artifact must be an error")
+	}
+}

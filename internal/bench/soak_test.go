@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestSoakSmoke runs a compressed in-process soak — same stack, same
+// default timeline shape, seconds instead of minutes — and holds it to the
+// SLO-defense acceptance criteria. Unlike the full-harness smoke this one
+// runs under -short too: it is the verify gate for the defense layer.
+func TestSoakSmoke(t *testing.T) {
+	cfg := SoakConfig{
+		TargetQPS: 250,
+		Duration:  6 * time.Second,
+		Interval:  time.Second,
+		Deadline:  250 * time.Millisecond,
+	}
+	report, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", report)
+
+	if len(report.Intervals) != 6 {
+		t.Fatalf("%d intervals for a 6s/1s soak, want 6", len(report.Intervals))
+	}
+	s := report.Summary
+	if s.TotalOffered == 0 || s.TotalCompleted == 0 {
+		t.Fatalf("soak offered %d / completed %d", s.TotalOffered, s.TotalCompleted)
+	}
+	// The headline defense claim: faults thin answers, they never stop them.
+	if s.ZeroGoodputIntervals != 0 {
+		t.Fatalf("%d intervals with zero goodput (min %.1f qps)", s.ZeroGoodputIntervals, s.MinGoodputQPS)
+	}
+	// The stalled-expert act must have produced partial-ensemble answers.
+	if s.TotalDegraded == 0 {
+		t.Fatal("no degraded answers across a stall+reset timeline")
+	}
+	// Races where both arms fail settle as neither won nor wasted, so the
+	// split can only undershoot fired — never exceed it.
+	if s.HedgeWon+s.HedgeWasted > s.HedgeFired {
+		t.Fatalf("hedge accounting leak: fired=%d won=%d wasted=%d", s.HedgeFired, s.HedgeWon, s.HedgeWasted)
+	}
+	// And the run must end recovered: final-interval tails back near the
+	// healthy baseline after the heal event.
+	if !s.Recovered {
+		t.Fatalf("tail latency never recovered after heal: baseline p99 %.2fms, final %.2fms", s.BaselineP99Ms, s.FinalP99Ms)
+	}
+
+	// The report must round-trip to JSON (it is the BENCH_soak.json payload).
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SoakReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Intervals) != len(report.Intervals) {
+		t.Fatal("intervals lost in the JSON round trip")
+	}
+}
+
+// TestDefaultSoakTimeline pins the three-act script's scaling.
+func TestDefaultSoakTimeline(t *testing.T) {
+	tl := DefaultSoakTimeline(2 * time.Minute)
+	if len(tl) != 3 {
+		t.Fatalf("%d events, want 3", len(tl))
+	}
+	if tl[0].At != 30*time.Second || tl[0].Action != SoakStall || tl[0].Worker != 0 {
+		t.Fatalf("act 1 = %+v, want stall worker 0 at 30s", tl[0])
+	}
+	if tl[1].At != time.Minute || tl[1].Action != SoakReset || tl[1].Worker != 1 {
+		t.Fatalf("act 2 = %+v, want reset worker 1 at 60s", tl[1])
+	}
+	if tl[2].At != 90*time.Second || tl[2].Action != SoakHeal || tl[2].Worker != -1 {
+		t.Fatalf("act 3 = %+v, want heal all at 90s", tl[2])
+	}
+}

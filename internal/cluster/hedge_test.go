@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/chaos"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Hedging tests: the tail-tolerance half of the SLO-defense layer. A peer
+// whose rtt histogram says "you should have heard back by now" gets a
+// duplicate request down the same mux link; first reply wins, the loser is
+// a caller abort. These pin the timer seeding, the counter accounting, the
+// budget gate, and that hedging never feeds the breaker. All run under
+// -race via the verify target.
+
+// TestHedgeDisabledByDefault: a fresh master never hedges, whatever the
+// histograms say.
+func TestHedgeDisabledByDefault(t *testing.T) {
+	worker, addr := pooledWorker(t, 110, 1, 2)
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(111).Randn(1, 4)
+	for i := 0; i < 30; i++ {
+		if _, _, err := master.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := master.Counters().Counter("hedge.fired").Value(); got != 0 {
+		t.Fatalf("hedge.fired = %d with hedging disabled", got)
+	}
+	_ = worker
+}
+
+// TestHedgeDelaySeededFromHistogram: the timer comes from the peer's live
+// rtt quantile, gated on MinSamples and clamped into [MinDelay, MaxDelay].
+func TestHedgeDelaySeededFromHistogram(t *testing.T) {
+	_, addr := pooledWorker(t, 112, 1, 2)
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	master.SetHedge(HedgeConfig{Enabled: true, MinSamples: 5, MinDelay: 2 * time.Millisecond, MaxDelay: 250 * time.Millisecond})
+	p := master.peers[0]
+
+	if _, ok := p.hedgeDelay(); ok {
+		t.Fatal("hedgeDelay trusted an empty histogram")
+	}
+	x := tensor.NewRNG(113).Randn(1, 4)
+	for i := 0; i < 10; i++ {
+		if _, _, err := master.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, ok := p.hedgeDelay()
+	if !ok {
+		t.Fatal("hedgeDelay refused a warmed histogram")
+	}
+	// A loopback round trip against a tiny expert sits well under MinDelay,
+	// so the clamp must hold; and nothing can exceed MaxDelay.
+	if d < 2*time.Millisecond || d > 250*time.Millisecond {
+		t.Fatalf("hedge delay %v outside [2ms, 250ms]", d)
+	}
+
+	// Flip the policy off: the shared ref must take effect immediately.
+	master.SetHedge(HedgeConfig{})
+	if _, ok := p.hedgeDelay(); ok {
+		t.Fatal("hedgeDelay still armed after SetHedge(HedgeConfig{})")
+	}
+}
+
+// TestHedgeFiresOnSlowPeer: warm the histogram over a transparent proxy,
+// then inject latency an order of magnitude above the hedge delay. Every
+// slow round trip must fire a duplicate, the race must account each fired
+// hedge as won or wasted, answers stay correct, and the breaker never
+// learns any of it happened.
+func TestHedgeFiresOnSlowPeer(t *testing.T) {
+	proxy, addr := chaosWorker(t, 114, 1)
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	master.SetTimeout(2 * time.Second)
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	master.SetHedge(HedgeConfig{Enabled: true, MinSamples: 3})
+
+	x := tensor.NewRNG(115).Randn(1, 4)
+	for i := 0; i < 6; i++ { // warmup: fast samples seed a ~MinDelay timer
+		if _, _, err := master.Infer(x); err != nil {
+			t.Fatalf("warmup %d: %v", i, err)
+		}
+	}
+	if got := master.Counters().Counter("hedge.fired").Value(); got != 0 {
+		t.Fatalf("hedge fired %d times against a fast peer", got)
+	}
+
+	proxy.SetPlan(chaos.Fault{Mode: chaos.Latency, Delay: 80 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		probs, _, err := master.Infer(x)
+		if err != nil {
+			t.Fatalf("slow query %d: %v", i, err)
+		}
+		if probs.HasNaN() {
+			t.Fatalf("slow query %d produced NaN", i)
+		}
+	}
+
+	fired := master.Counters().Counter("hedge.fired").Value()
+	won := master.Counters().Counter("hedge.won").Value()
+	wasted := master.Counters().Counter("hedge.wasted").Value()
+	if fired == 0 {
+		t.Fatal("no hedge fired against an 80ms peer with a ~2ms timer")
+	}
+	if won+wasted != fired {
+		t.Fatalf("hedge accounting leak: fired=%d won=%d wasted=%d", fired, won, wasted)
+	}
+	h := master.Health()[0]
+	if h.State != PeerHealthy || h.Failures != 0 || h.Trips != 0 {
+		t.Fatalf("hedging fed the breaker: %+v", h)
+	}
+	if d := master.Counters().Counter("peer." + addr + ".mux_downgrades").Value(); d != 0 {
+		t.Fatalf("hedging downgraded the mux link %d times", d)
+	}
+	// The race's losers were cancelled and reaped: nothing left in flight.
+	waitForGaugeZero(t, master, "mux.inflight", 2*time.Second)
+}
+
+// TestHedgeRespectsRetryBudget: with the shared budget dry, the timer still
+// fires internally but no duplicate is sent — the denial is counted and the
+// primary rides alone. Hedging must never become its own retry storm.
+func TestHedgeRespectsRetryBudget(t *testing.T) {
+	proxy, addr := chaosWorker(t, 116, 1)
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	master.SetTimeout(2 * time.Second)
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	master.SetHedge(HedgeConfig{Enabled: true, MinSamples: 3})
+
+	x := tensor.NewRNG(117).Randn(1, 4)
+	for i := 0; i < 6; i++ {
+		if _, _, err := master.Infer(x); err != nil {
+			t.Fatalf("warmup %d: %v", i, err)
+		}
+	}
+
+	// Drain a near-zero-refill budget dry, then slow the link.
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: 1e-9, Burst: 1, RefillPerSec: 1e-9})
+	for b.Allow() {
+	}
+	master.SetRetryBudget(b)
+	proxy.SetPlan(chaos.Fault{Mode: chaos.Latency, Delay: 60 * time.Millisecond})
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := master.Infer(x); err != nil {
+			t.Fatalf("slow query %d: %v", i, err)
+		}
+	}
+	if fired := master.Counters().Counter("hedge.fired").Value(); fired != 0 {
+		t.Fatalf("a dry budget still funded %d hedges", fired)
+	}
+	if denied := master.Counters().Counter("retry_budget.denied.hedge").Value(); denied == 0 {
+		t.Fatal("budget denials were not counted under retry_budget.denied.hedge")
+	}
+}
+
+// waitForGaugeZero polls a master gauge until it drains or the deadline
+// passes.
+func waitForGaugeZero(t *testing.T, m *Master, name string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if m.Gauges().Gauge(name).Value() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge %s stuck at %d", name, m.Gauges().Gauge(name).Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

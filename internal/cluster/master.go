@@ -56,6 +56,8 @@ type Master struct {
 	gauges   *metrics.GaugeSet
 	hists    *metrics.HistogramSet
 	tracer   *tracerRef
+	hedge    *hedgeRef
+	budget   *budgetRef
 
 	mu      sync.Mutex
 	timeout time.Duration // per-round-trip deadline; 0 = none
@@ -74,6 +76,8 @@ type peerConn struct {
 	gauges   *metrics.GaugeSet
 	hists    *metrics.HistogramSet
 	trc      *tracerRef
+	hedge    *hedgeRef
+	budget   *budgetRef
 	done     <-chan struct{}
 	wg       *sync.WaitGroup
 
@@ -105,6 +109,8 @@ func NewMaster(local *nn.Network, classes int) *Master {
 		gauges:   metrics.NewGaugeSet(),
 		hists:    metrics.NewHistogramSet(),
 		tracer:   &tracerRef{},
+		hedge:    &hedgeRef{},
+		budget:   &budgetRef{},
 		sup:      DefaultSupervisorConfig(),
 		done:     make(chan struct{}),
 	}
@@ -201,6 +207,8 @@ func (m *Master) Connect(addr string) error {
 		gauges:   m.gauges,
 		hists:    m.hists,
 		trc:      m.tracer,
+		hedge:    m.hedge,
+		budget:   m.budget,
 		done:     m.done,
 		wg:       &m.probeWG,
 		conn:     conn,
@@ -218,6 +226,18 @@ func (m *Master) Peers() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.peers)
+}
+
+// Nodes returns the full ensemble size: connected peers plus the local
+// expert when present — the denominator for degraded-mode quorum reporting.
+func (m *Master) Nodes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.peers)
+	if m.local != nil {
+		n++
+	}
+	return n
 }
 
 // localPredict serializes the local expert: nn.Network is single-goroutine
@@ -385,12 +405,78 @@ func (m *Master) InferBestEffortContext(ctx context.Context, x *tensor.Tensor) (
 }
 
 func (m *Master) inferBestEffort(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer, root trace.Context) (probs *tensor.Tensor, winners []int, live int, err error) {
+	results, ok, _, err := m.gather(ctx, x, tr, root, 0, false)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, o := range ok {
+		if o {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil, nil, 0, fmt.Errorf("cluster: no node answered")
+	}
+	probs, winners = m.combine(tr, root, x.Shape[0], results, ok)
+	return probs, winners, live, nil
+}
+
+// InferQuorumContext is the graceful-degradation variant behind the serve
+// gateway's degraded mode: like InferBestEffortContext it skips quarantined
+// peers and tolerates node failures, but it additionally refuses to let a
+// straggler drag the answer to the deadline. Once soft has elapsed since
+// dispatch (soft > 0) — or ctx expires — with at least one node's result
+// gathered, the partial ensemble's arg-min-entropy answer is returned
+// instead of an error, and live < total tells the caller the answer is
+// degraded. Stragglers are cancelled (a caller abort, not a peer fault).
+// It errors only when ctx expires with nothing gathered at all.
+func (m *Master) InferQuorumContext(ctx context.Context, x *tensor.Tensor, soft time.Duration) (probs *tensor.Tensor, winners []int, live, total int, err error) {
+	tr := m.tracer.get()
+	root := tr.Start(trace.FromContext(ctx), "infer")
+	start := time.Now()
+	probs, winners, live, total, err = m.inferQuorum(ctx, x, tr, root.Ctx(), soft)
+	root.EndErr(err)
+	m.hists.Observe("infer.total", time.Since(start))
+	return probs, winners, live, total, err
+}
+
+func (m *Master) inferQuorum(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer, root trace.Context, soft time.Duration) (probs *tensor.Tensor, winners []int, live, total int, err error) {
+	results, ok, total, err := m.gather(ctx, x, tr, root, soft, true)
+	if err != nil {
+		return nil, nil, 0, total, err
+	}
+	for _, o := range ok {
+		if o {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil, nil, 0, total, fmt.Errorf("cluster: no node answered")
+	}
+	probs, winners = m.combine(tr, root, x.Shape[0], results, ok)
+	return probs, winners, live, total, nil
+}
+
+// slotResult is one node's report back to the gather loop.
+type slotResult struct {
+	slot int
+	res  PredictResult
+	ok   bool
+}
+
+// gather fans one broadcast out to the local expert and every available
+// peer, then collects results until every launched node reported. Two knobs
+// relax the wait: soft > 0 returns the partial result set once the soft
+// deadline passes with at least one result gathered ("infer.partial"), and
+// partialOnExpiry does the same when ctx expires — otherwise expiry returns
+// the ctx error, the strict best-effort contract. Early returns cancel the
+// straggler round trips via a derived context, which the peer paths treat
+// as a caller abort: no breaker accounting, the mux link stays up.
+func (m *Master) gather(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer, root trace.Context, soft time.Duration, partialOnExpiry bool) (results []PredictResult, ok []bool, total int, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, 0, err
 	}
 	peers := m.snapshotPeers()
-
-	batch := x.Shape[0]
 	nodes := len(peers)
 	localIdx := -1
 	if m.local != nil {
@@ -400,10 +486,14 @@ func (m *Master) inferBestEffort(ctx context.Context, x *tensor.Tensor, tr *trac
 	if nodes == 0 {
 		return nil, nil, 0, fmt.Errorf("cluster: master has neither local expert nor peers")
 	}
-	results := make([]PredictResult, nodes)
-	ok := make([]bool, nodes)
-	var wg sync.WaitGroup
+
+	results = make([]PredictResult, nodes)
+	ok = make([]bool, nodes)
+	resc := make(chan slotResult, nodes)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	payload := m.encodeInput(x, tr, root)
+	launched := 0
 	for i, p := range peers {
 		slot := i
 		if localIdx == 0 {
@@ -417,38 +507,77 @@ func (m *Master) inferBestEffort(ctx context.Context, x *tensor.Tensor, tr *trac
 			tr.Record(root, "peer "+p.addr, "", trace.StatusSkipped, time.Now(), 0)
 			continue
 		}
-		wg.Add(1)
+		launched++
 		go func(p *peerConn, slot int) {
-			defer wg.Done()
-			res, rerr := p.do(ctx, payload, root)
-			if rerr == nil {
-				results[slot], ok[slot] = res, true
-			}
+			res, rerr := p.do(wctx, payload, root)
+			resc <- slotResult{slot: slot, res: res, ok: rerr == nil}
 		}(p, slot)
 	}
 	if localIdx == 0 {
-		results[0], ok[0] = m.localResult(x, tr, root), true
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, nil, 0, err
+		launched++
+		go func() {
+			// The local expert runs off the caller's goroutine here, so a
+			// caller-side recover (e.g. the gateway's panic guard) cannot
+			// catch a forward-pass panic — a width-mismatched input would
+			// kill the whole process. Contain it to this slot: the local
+			// expert just reports not-ok, like any other failed node.
+			defer func() {
+				if r := recover(); r != nil {
+					m.counters.Counter("local.panics_recovered").Inc()
+					resc <- slotResult{slot: 0}
+				}
+			}()
+			resc <- slotResult{slot: 0, res: m.localResult(x, tr, root), ok: true}
+		}()
 	}
 
-	for _, o := range ok {
-		if o {
-			live++
+	var softC <-chan time.Time
+	if soft > 0 {
+		t := time.NewTimer(soft)
+		defer t.Stop()
+		softC = t.C
+	}
+	live, received := 0, 0
+	for received < launched {
+		select {
+		case r := <-resc:
+			received++
+			if r.ok {
+				results[r.slot], ok[r.slot] = r.res, true
+				live++
+			}
+		case <-softC:
+			softC = nil
+			if live > 0 {
+				m.counters.Counter("infer.partial").Inc()
+				return results, ok, nodes, nil
+			}
+		case <-ctx.Done():
+			if partialOnExpiry && live > 0 {
+				m.counters.Counter("infer.partial").Inc()
+				return results, ok, nodes, nil
+			}
+			return nil, nil, nodes, ctx.Err()
 		}
 	}
-	if live == 0 {
-		return nil, nil, 0, fmt.Errorf("cluster: no node answered")
+	if !partialOnExpiry {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nodes, err
+		}
 	}
+	return results, ok, nodes, nil
+}
+
+// combine runs step 5 over whichever nodes answered: per-sample arg-min
+// entropy across the ok slots.
+func (m *Master) combine(tr *trace.Tracer, root trace.Context, batch int, results []PredictResult, ok []bool) (*tensor.Tensor, []int) {
 	gateStart := time.Now()
-	probs = tensor.New(batch, m.classes)
-	winners = make([]int, batch)
+	probs := tensor.New(batch, m.classes)
+	winners := make([]int, batch)
 	for b := 0; b < batch; b++ {
 		bi := -1
 		best := 0.0
-		for n := 0; n < nodes; n++ {
+		for n := range results {
 			if !ok[n] {
 				continue
 			}
@@ -460,7 +589,7 @@ func (m *Master) inferBestEffort(ctx context.Context, x *tensor.Tensor, tr *trac
 		copy(probs.RowSlice(b), results[bi].Probs.RowSlice(b))
 	}
 	m.recordGate(tr, root, gateStart)
-	return probs, winners, live, nil
+	return probs, winners
 }
 
 // Ping probes every peer within the configured per-peer timeout and reports

@@ -451,6 +451,9 @@ func (p *peerConn) muxAttempts(ctx context.Context, done <-chan struct{}, cfg Su
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			if !p.allowSpend("retry") {
+				break // budget dry: no speculative traffic during a brownout
+			}
 			p.counter("retries").Inc()
 			backoffStart := time.Now()
 			if !cfg.RetryBackoff.Sleep(attempt-1, done) {

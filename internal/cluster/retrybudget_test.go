@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/chaos"
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// Retry-budget tests: one shared token bucket must bound the sum of every
+// speculative send — serial retries, mux retries, probe redials, hedges —
+// so a brownout cannot amplify itself. All run under -race via the verify
+// target.
+
+// TestRetryBudgetBucketMath pins the token arithmetic without any cluster
+// machinery: a full bucket funds Burst sends, runs dry, and refills by
+// Ratio per deposit. The trickle is pinned near zero so time cannot help.
+func TestRetryBudgetBucketMath(t *testing.T) {
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: 0.5, Burst: 2, RefillPerSec: 1e-9})
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("a fresh bucket must fund Burst sends")
+	}
+	if b.Allow() {
+		t.Fatal("a drained bucket funded a third send")
+	}
+	b.Deposit() // +0.5: still under a whole token
+	if b.Allow() {
+		t.Fatal("half a token funded a send")
+	}
+	b.Deposit() // +0.5: exactly one token
+	if !b.Allow() {
+		t.Fatal("two deposits at Ratio 0.5 must fund one send")
+	}
+	// The cap holds: endless deposits never exceed Burst.
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if tok := b.Tokens(); tok > 2+1e-6 {
+		t.Fatalf("bucket overflowed its Burst cap: %v tokens", tok)
+	}
+}
+
+// TestRetryBudgetTrickleRefill: with zero request volume the time-based
+// trickle alone must eventually fund a send, so probe redials can never be
+// permanently starved by a drained budget.
+func TestRetryBudgetTrickleRefill(t *testing.T) {
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: 0.1, Burst: 4, RefillPerSec: 200})
+	for b.Allow() {
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("trickle never refunded a drained bucket")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRetryBudgetDefaults: the zero config normalizes to the documented
+// defaults and a nil master budget means unlimited.
+func TestRetryBudgetDefaults(t *testing.T) {
+	cfg := RetryBudgetConfig{}.normalized()
+	if cfg.Ratio != 0.1 || cfg.Burst != 16 || cfg.RefillPerSec != 1 {
+		t.Fatalf("zero config normalized to %+v", cfg)
+	}
+	m := NewMaster(nil, 3)
+	defer m.Close()
+	if m.RetryBudget() != nil {
+		t.Fatal("a fresh master has a budget installed")
+	}
+	p := &peerConn{budget: m.budget}
+	if !p.allowSpend("retry") {
+		t.Fatal("nil budget must allow every spend")
+	}
+}
+
+// TestRetryBudgetStarvesRetries: against a link that resets every chunk, a
+// dry budget must suppress the in-request retries (counted under
+// retry_budget.denied.retry) — first-attempt-only traffic instead of a
+// storm. The breaker still learns about the faults and quarantines.
+func TestRetryBudgetStarvesRetries(t *testing.T) {
+	proxy, addr := chaosWorker(t, 120, 1)
+	master := NewMaster(tinyExpert(t, 121), 3)
+	defer master.Close()
+	master.SetSupervisor(SupervisorConfig{
+		MaxRetries:       2,
+		FailureThreshold: 3,
+		DialTimeout:      time.Second,
+		RetryBackoff:     &transport.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		ProbeBackoff:     &transport.Backoff{Base: 30 * time.Second, Max: 30 * time.Second},
+	})
+	master.SetTimeout(300 * time.Millisecond)
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(122).Randn(1, 4)
+	if _, _, err := master.Infer(x); err != nil { // warmup proves the link
+		t.Fatal(err)
+	}
+
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: 1e-9, Burst: 1, RefillPerSec: 1e-9})
+	for b.Allow() {
+	}
+	master.SetRetryBudget(b)
+	if master.RetryBudget() != b {
+		t.Fatal("SetRetryBudget did not install")
+	}
+
+	proxy.SetPlan(chaos.Fault{Mode: chaos.Reset, Prob: 1})
+	for i := 0; i < 4; i++ {
+		master.InferBestEffort(x) //nolint:errcheck — the local expert answers; the sick peer is the point
+	}
+	if denied := master.Counters().Counter("retry_budget.denied.retry").Value(); denied == 0 {
+		t.Fatal("dry budget never denied a retry against a resetting link")
+	}
+	if denied := master.Counters().Counter("retry_budget.denied").Value(); denied == 0 {
+		t.Fatal("shared denial counter never moved")
+	}
+}
+
+// TestRetryBudgetDepositsOnTraffic: healthy round trips refill the bucket
+// at Ratio, so a drained budget recovers once the storm passes and real
+// traffic resumes.
+func TestRetryBudgetDepositsOnTraffic(t *testing.T) {
+	_, addr := pooledWorker(t, 123, 1, 2)
+	master := NewMaster(nil, 3)
+	defer master.Close()
+	if err := master.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: 0.5, Burst: 4, RefillPerSec: 1e-9})
+	for b.Allow() {
+	}
+	master.SetRetryBudget(b)
+
+	x := tensor.NewRNG(124).Randn(1, 4)
+	for i := 0; i < 6; i++ { // 6 deposits × 0.5 = 3 tokens
+		if _, _, err := master.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tok := b.Tokens(); tok < 1 {
+		t.Fatalf("six healthy round trips left only %v tokens", tok)
+	}
+	if !b.Allow() {
+		t.Fatal("refilled budget refused a send")
+	}
+}

@@ -314,8 +314,14 @@ func (p *peerConn) endProbe(s PeerState) {
 }
 
 // probeOnce dials a fresh connection and round-trips one ping. On success
-// the connection replaces the peer's broken one.
+// the connection replaces the peer's broken one. Each probe redial spends
+// from the shared retry budget; when the bucket is dry the probe is skipped
+// this round (the backoff loop tries again — the budget's time trickle
+// guarantees probes never starve forever).
 func (p *peerConn) probeOnce(cfg SupervisorConfig) bool {
+	if !p.allowSpend("probe") {
+		return false
+	}
 	p.counter("redials").Inc()
 	conn, err := transport.Dial(p.addr, cfg.DialTimeout)
 	if err != nil {
@@ -444,10 +450,15 @@ func (p *peerConn) do(ctx context.Context, payload []byte, parent trace.Context)
 	done, stop := joinDone(ctx, p.done)
 	defer stop()
 	sp := tr.Start(parent, "peer "+p.addr)
+	p.deposit() // first-attempt volume funds the shared retry budget
 	var res PredictResult
 	var err error
 	if p.muxEligible() {
-		res, err = p.muxAttempts(ctx, done, cfg, tr, sp.Ctx(), payload)
+		if delay, hok := p.hedgeDelay(); hok {
+			res, err = p.muxHedged(ctx, cfg, tr, sp.Ctx(), payload, delay)
+		} else {
+			res, err = p.muxAttempts(ctx, done, cfg, tr, sp.Ctx(), payload)
+		}
 		if errors.Is(err, errMuxUnsupported) {
 			res, err = p.doAttempts(ctx, done, cfg, tr, sp.Ctx(), payload)
 		}
@@ -494,6 +505,9 @@ func (p *peerConn) doAttempts(ctx context.Context, done <-chan struct{}, cfg Sup
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			if !p.allowSpend("retry") {
+				break // budget dry: no speculative traffic during a brownout
+			}
 			p.counter("retries").Inc()
 			backoffStart := time.Now()
 			if !cfg.RetryBackoff.Sleep(attempt-1, done) {

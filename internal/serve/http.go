@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/teamnet/teamnet/internal/tensor"
@@ -38,6 +39,20 @@ type PredictResponse struct {
 	Winners []int `json:"winners"`
 	// Entropy[i] is the predictive entropy of row i's winning distribution.
 	Entropy []float64 `json:"entropy"`
+	// Degraded marks a partial-ensemble answer: some experts were
+	// quarantined or too slow, and the reply combines only those that made
+	// it. Absent (false) on full-ensemble answers.
+	Degraded bool `json:"degraded,omitempty"`
+	// Quorum reports how many nodes contributed when Degraded is set.
+	Quorum *Quorum `json:"quorum,omitempty"`
+}
+
+// Quorum is the participation metadata attached to degraded answers.
+type Quorum struct {
+	// Live is the number of nodes whose predictions are in the answer.
+	Live int `json:"live"`
+	// Nodes is the full ensemble size.
+	Nodes int `json:"nodes"`
 }
 
 // errorResponse is the JSON error body.
@@ -129,13 +144,23 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := g.PredictOpts(ctx, x, opts)
 	if err != nil {
-		writeJSONError(w, statusFor(err), err.Error())
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			// Back-pressure hint: how long until the admission queue has
+			// drained at its current rate (docs/OPERATIONS.md).
+			w.Header().Set("Retry-After", retryAfterSeconds(g.RetryAfter()))
+		}
+		writeJSONError(w, code, err.Error())
 		return
 	}
 	resp := PredictResponse{
 		Probs:   make([][]float64, res.Probs.Shape[0]),
 		Winners: res.Winners,
 		Entropy: res.Entropy,
+	}
+	if res.Degraded {
+		resp.Degraded = true
+		resp.Quorum = &Quorum{Live: res.Live, Nodes: res.Nodes}
 	}
 	for i := range resp.Probs {
 		resp.Probs[i] = res.Probs.RowSlice(i)
@@ -158,6 +183,16 @@ func statusFor(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfterSeconds renders a backoff duration as the whole-seconds form
+// the Retry-After header wants, never below 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func writeJSONError(w http.ResponseWriter, code int, msg string) {

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/teamnet/teamnet/internal/metrics"
@@ -49,6 +50,17 @@ import (
 // cancellation and be safe for concurrent calls.
 type Backend interface {
 	InferContext(ctx context.Context, x *tensor.Tensor) (probs *tensor.Tensor, winners []int, err error)
+}
+
+// DegradedBackend is the optional partial-ensemble interface a Backend may
+// implement (cluster.Master does): InferQuorumContext answers with whatever
+// subset of the ensemble replied once soft elapses or quarantine thins the
+// fleet, reporting live out of total nodes. With Config.Degraded set, the
+// gateway prefers this path and marks live < total answers Degraded — a
+// partial answer with quorum metadata instead of a 5xx.
+type DegradedBackend interface {
+	Backend
+	InferQuorumContext(ctx context.Context, x *tensor.Tensor, soft time.Duration) (probs *tensor.Tensor, winners []int, live, total int, err error)
 }
 
 // Config tunes the gateway. The zero value means "use the defaults" for
@@ -71,6 +83,23 @@ type Config struct {
 	// DefaultTimeout is applied to requests whose context carries no
 	// deadline of its own. Zero leaves them unbounded.
 	DefaultTimeout time.Duration
+	// Degraded routes batches through the backend's partial-ensemble path
+	// (DegradedBackend) when it implements one: quarantined or straggling
+	// experts thin the answer instead of failing it, and the response
+	// carries degraded/quorum metadata. Off by default — strict ensembles
+	// unless the operator opts in.
+	Degraded bool
+	// SLOTarget is the end-to-end latency objective the brownout controller
+	// defends: when the recent burn rate (requests shed, timed out, or
+	// served slower than this target, as a fraction of all finished
+	// requests) exceeds BrownoutBurn, the controller tightens MaxLinger and
+	// the admission queue cap stepwise, trading coalescing efficiency and
+	// queue depth for tail latency; it relaxes as the burn subsides. Zero
+	// disables the controller.
+	SLOTarget time.Duration
+	// BrownoutBurn is the burn-rate threshold that tightens the gateway.
+	// Default 0.1 (10% of recent requests missing the SLO).
+	BrownoutBurn float64
 }
 
 func (c Config) normalized() Config {
@@ -85,6 +114,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 2
+	}
+	if c.BrownoutBurn <= 0 || c.BrownoutBurn > 1 {
+		c.BrownoutBurn = 0.1
 	}
 	return c
 }
@@ -115,11 +147,17 @@ var (
 
 // Result is one request's share of a dispatched batch: its own rows'
 // combined probabilities, winning node per row, and the predictive entropy
-// of each winning distribution.
+// of each winning distribution. Degraded reports a partial-ensemble answer
+// (Live of Nodes experts participated) — the graceful middle ground between
+// a full answer and an error.
 type Result struct {
 	Probs   *tensor.Tensor
 	Winners []int
 	Entropy []float64
+
+	Degraded bool
+	Live     int // nodes that contributed to this answer
+	Nodes    int // full ensemble size
 }
 
 type response struct {
@@ -154,6 +192,22 @@ type Gateway struct {
 	quit     chan struct{}
 	quitOnce sync.Once
 	wg       sync.WaitGroup
+
+	// Brownout controller state: the effective linger and per-lane
+	// admission cap start at the configured values and tighten stepwise
+	// (halving per level) while the SLO burn rate stays high.
+	effLinger atomic.Int64 // ns
+	effQueue  atomic.Int64 // per-lane admission cap
+	level     atomic.Int64
+	sloOK     atomic.Int64 // finished within SLOTarget since last tick
+	sloMiss   atomic.Int64 // shed, timed out, or finished over target
+
+	// Queue drain-rate estimate behind RetryAfter.
+	dequeued  atomic.Int64
+	drainMu   sync.Mutex
+	drainT    time.Time
+	drainN    int64
+	drainRate float64 // requests/second leaving the queue, smoothed
 }
 
 // New starts a gateway over backend: the batcher goroutine plus
@@ -172,11 +226,17 @@ func New(backend Backend, cfg Config) *Gateway {
 	}
 	g.lanes[0] = make(chan *request, cfg.QueueSize)
 	g.lanes[1] = make(chan *request, cfg.QueueSize)
+	g.effLinger.Store(int64(cfg.MaxLinger))
+	g.effQueue.Store(int64(cfg.QueueSize))
 	g.wg.Add(1)
 	go g.batchLoop()
 	for i := 0; i < cfg.Workers; i++ {
 		g.wg.Add(1)
 		go g.workerLoop()
+	}
+	if cfg.SLOTarget > 0 {
+		g.wg.Add(1)
+		go g.brownoutLoop()
 	}
 	return g
 }
@@ -251,20 +311,31 @@ func (g *Gateway) PredictOpts(ctx context.Context, x *tensor.Tensor, opts Option
 	g.counters.Counter("serve.requests").Inc()
 	req := &request{x: x, ctx: ctx, enq: time.Now(), resc: make(chan response, 1)}
 
-	// Admission: reject-on-full, never block the caller on a queue.
+	// Admission: reject-on-full, never block the caller on a queue. The
+	// brownout controller may have tightened the cap below the lane's
+	// buffered capacity, so the depth check comes first.
+	lane := g.lanes[laneIdx(opts.Priority)]
+	if len(lane) >= int(g.effQueue.Load()) {
+		g.counters.Counter("serve.shed.queue_full").Inc()
+		g.sloBurned()
+		return Result{}, ErrQueueFull
+	}
 	select {
-	case g.lanes[laneIdx(opts.Priority)] <- req:
+	case lane <- req:
 		g.gauges.Gauge("serve.queue_depth").Inc()
 	case <-g.quit:
 		return Result{}, ErrClosed
 	default:
 		g.counters.Counter("serve.shed.queue_full").Inc()
+		g.sloBurned()
 		return Result{}, ErrQueueFull
 	}
 
 	select {
 	case r := <-req.resc:
-		g.hists.Observe("serve.e2e", time.Since(req.enq))
+		e2e := time.Since(req.enq)
+		g.hists.Observe("serve.e2e", e2e)
+		g.sloFinished(e2e, r.err)
 		return r.res, r.err
 	case <-ctx.Done():
 		// The request may still be queued (the batcher will shed it as
@@ -272,10 +343,121 @@ func (g *Gateway) PredictOpts(ctx context.Context, x *tensor.Tensor, opts Option
 		// way this caller is done waiting.
 		g.counters.Counter("serve.timeouts").Inc()
 		g.hists.Observe("serve.e2e", time.Since(req.enq))
+		g.sloBurned()
 		return Result{}, ctx.Err()
 	case <-g.quit:
 		return Result{}, ErrClosed
 	}
+}
+
+// --- SLO burn accounting and the brownout controller -----------------------
+
+// sloFinished classifies one answered request against the SLO target.
+func (g *Gateway) sloFinished(e2e time.Duration, err error) {
+	if g.cfg.SLOTarget <= 0 {
+		return
+	}
+	if err == nil && e2e <= g.cfg.SLOTarget {
+		g.sloOK.Add(1)
+	} else {
+		g.sloMiss.Add(1)
+	}
+}
+
+// sloBurned records one request that never got a timely answer.
+func (g *Gateway) sloBurned() {
+	if g.cfg.SLOTarget > 0 {
+		g.sloMiss.Add(1)
+	}
+}
+
+// brownoutMaxLevel bounds the tightening: at level 3 the linger and queue
+// cap sit at 1/8th of their configured values.
+const brownoutMaxLevel = 3
+
+// brownoutLoop is the controller: every tick it reads the burn rate of the
+// last window and tightens (burn above BrownoutBurn) or relaxes (burn well
+// below it, or no evidence of trouble) one level at a time. Level L maps to
+// MaxLinger>>L and QueueSize>>L — under SLO pressure the gateway stops
+// waiting for fuller batches and stops accepting queue depth it can no
+// longer drain in time, shedding early instead of serving everything late.
+func (g *Gateway) brownoutLoop() {
+	defer g.wg.Done()
+	const tick = 100 * time.Millisecond
+	const minEvidence = 20 // requests per window before burn is trusted
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-g.quit:
+			return
+		}
+		ok := g.sloOK.Swap(0)
+		miss := g.sloMiss.Swap(0)
+		total := ok + miss
+		level := g.level.Load()
+		switch {
+		case total >= minEvidence && float64(miss)/float64(total) > g.cfg.BrownoutBurn:
+			if level < brownoutMaxLevel {
+				level++
+				g.counters.Counter("serve.brownout.tightened").Inc()
+			}
+		case total < minEvidence || float64(miss)/float64(total) < g.cfg.BrownoutBurn/4:
+			if level > 0 {
+				level--
+				g.counters.Counter("serve.brownout.relaxed").Inc()
+			}
+		}
+		g.level.Store(level)
+		g.gauges.Gauge("serve.brownout_level").Set(level)
+		g.effLinger.Store(int64(g.cfg.MaxLinger) >> level)
+		cap := g.cfg.QueueSize >> level
+		if cap < 1 {
+			cap = 1
+		}
+		g.effQueue.Store(int64(cap))
+	}
+}
+
+// noteDequeue feeds the drain-rate estimate behind RetryAfter.
+func (g *Gateway) noteDequeue() {
+	g.gauges.Gauge("serve.queue_depth").Dec()
+	g.dequeued.Add(1)
+}
+
+// RetryAfter estimates how long a rejected client should back off before
+// the queue has drained: current depth over the recent dequeue rate,
+// clamped into [1s, 30s]. With no drain observed yet it answers 1s.
+func (g *Gateway) RetryAfter() time.Duration {
+	depth := g.gauges.Gauge("serve.queue_depth").Value()
+	now := time.Now()
+	n := g.dequeued.Load()
+	g.drainMu.Lock()
+	if g.drainT.IsZero() {
+		g.drainT, g.drainN = now, n
+	} else if dt := now.Sub(g.drainT); dt >= 100*time.Millisecond {
+		rate := float64(n-g.drainN) / dt.Seconds()
+		if g.drainRate == 0 {
+			g.drainRate = rate
+		} else {
+			g.drainRate = 0.5*g.drainRate + 0.5*rate
+		}
+		g.drainT, g.drainN = now, n
+	}
+	rate := g.drainRate
+	g.drainMu.Unlock()
+	if rate <= 0 || depth <= 0 {
+		return time.Second
+	}
+	d := time.Duration(float64(depth) / rate * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // Close stops the gateway: queued and not-yet-dispatched requests fail with
@@ -311,7 +493,7 @@ func (g *Gateway) batchLoop() {
 		}
 		batch := []*request{first}
 		rows, width := first.x.Shape[0], first.x.Shape[1]
-		linger := time.NewTimer(g.cfg.MaxLinger)
+		linger := time.NewTimer(time.Duration(g.effLinger.Load()))
 		for rows < g.cfg.MaxBatch {
 			req, open := g.lingerRequest(linger.C)
 			if req == nil {
@@ -350,16 +532,16 @@ func (g *Gateway) nextRequest() *request {
 	// Fast path: drain high-priority work before even looking at normal.
 	select {
 	case req := <-g.lanes[0]:
-		g.gauges.Gauge("serve.queue_depth").Dec()
+		g.noteDequeue()
 		return req
 	default:
 	}
 	select {
 	case req := <-g.lanes[0]:
-		g.gauges.Gauge("serve.queue_depth").Dec()
+		g.noteDequeue()
 		return req
 	case req := <-g.lanes[1]:
-		g.gauges.Gauge("serve.queue_depth").Dec()
+		g.noteDequeue()
 		return req
 	case <-g.quit:
 		return nil
@@ -371,16 +553,16 @@ func (g *Gateway) nextRequest() *request {
 func (g *Gateway) lingerRequest(lingerC <-chan time.Time) (*request, bool) {
 	select {
 	case req := <-g.lanes[0]:
-		g.gauges.Gauge("serve.queue_depth").Dec()
+		g.noteDequeue()
 		return req, true
 	default:
 	}
 	select {
 	case req := <-g.lanes[0]:
-		g.gauges.Gauge("serve.queue_depth").Dec()
+		g.noteDequeue()
 		return req, true
 	case req := <-g.lanes[1]:
-		g.gauges.Gauge("serve.queue_depth").Dec()
+		g.noteDequeue()
 		return req, true
 	case <-lingerC:
 		return nil, true
@@ -491,7 +673,17 @@ func (g *Gateway) runBatch(batch []*request) {
 	span := tr.Start(trace.Context{}, "serve.batch")
 	ctx = trace.NewContext(ctx, span.Ctx())
 
-	probs, winners, err := g.inferGuarded(ctx, x)
+	var probs *tensor.Tensor
+	var winners []int
+	var err error
+	var live, nodes int
+	degraded := false
+	if db, ok := g.backend.(DegradedBackend); ok && g.cfg.Degraded {
+		probs, winners, live, nodes, err = g.inferQuorumGuarded(ctx, db, x, quorumSoft(ctx))
+		degraded = err == nil && live < nodes
+	} else {
+		probs, winners, err = g.inferGuarded(ctx, x)
+	}
 	span.EndErr(err)
 	if err == nil && (probs == nil || probs.Shape[0] != rows || len(winners) != rows) {
 		err = fmt.Errorf("serve: backend returned %d result rows for a %d-row batch", resultRows(probs, winners), rows)
@@ -509,9 +701,15 @@ func (g *Gateway) runBatch(batch []*request) {
 	for _, r := range batch {
 		n := r.x.Shape[0]
 		res := Result{
-			Probs:   tensor.New(n, probs.Shape[1]),
-			Winners: append([]int(nil), winners[off:off+n]...),
-			Entropy: append([]float64(nil), ent.Data[off:off+n]...),
+			Probs:    tensor.New(n, probs.Shape[1]),
+			Winners:  append([]int(nil), winners[off:off+n]...),
+			Entropy:  append([]float64(nil), ent.Data[off:off+n]...),
+			Degraded: degraded,
+			Live:     live,
+			Nodes:    nodes,
+		}
+		if degraded {
+			g.counters.Counter("serve.degraded").Inc()
 		}
 		for i := 0; i < n; i++ {
 			copy(res.Probs.RowSlice(i), probs.RowSlice(off+i))
@@ -521,6 +719,34 @@ func (g *Gateway) runBatch(batch []*request) {
 		tr.Record(reqSpan, "queue.wait", "", "", r.enq, dispatchStart.Sub(r.enq))
 		r.resc <- response{res: res}
 	}
+}
+
+// quorumSoft derives the partial-answer deadline from the batch context:
+// 80% of the time remaining, so the degraded answer is assembled and
+// scattered before the slowest caller gives up. No deadline means no soft
+// cutoff — the quorum path then degrades only around quarantined peers.
+func quorumSoft(ctx context.Context) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return 0
+	}
+	return rem * 4 / 5
+}
+
+// inferQuorumGuarded is inferGuarded for the partial-ensemble path.
+func (g *Gateway) inferQuorumGuarded(ctx context.Context, db DegradedBackend, x *tensor.Tensor, soft time.Duration) (probs *tensor.Tensor, winners []int, live, nodes int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.counters.Counter("serve.panics").Inc()
+			probs, winners, live, nodes = nil, nil, 0, 0
+			err = fmt.Errorf("serve: inference panic: %v", r)
+		}
+	}()
+	return db.InferQuorumContext(ctx, x, soft)
 }
 
 // inferGuarded drives the backend with a panic guard: a model fed a batch
