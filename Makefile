@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fmt-check docs bench bench-throughput bench-serve bench-soak bench-check clean
+.PHONY: build test verify fmt-check docs bench bench-throughput bench-serve bench-soak bench-forward bench-check clean
 
 build:
 	$(GO) build ./...
@@ -28,23 +28,30 @@ docs:
 verify: fmt-check docs
 	$(GO) vet ./...
 	$(GO) test -short ./...
-	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/... ./internal/trace/... ./internal/serve/...
+	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/... ./internal/trace/... ./internal/serve/... ./internal/nn/... ./internal/tensor/...
 	$(GO) test -race -short -count=1 ./internal/bench/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Closed-loop serial-vs-mux throughput comparison against a real pooled
-# worker over loopback; the JSON artifact records the pipelining speedup
-# (see docs/OPERATIONS.md).
+# Closed-loop serial-vs-mux throughput comparison against a real
+# snapshot-serving worker over loopback; the JSON artifact records the
+# pipelining speedup (see docs/OPERATIONS.md).
 bench-throughput:
-	$(GO) run ./cmd/teamnet-bench -throughput -clients 8 -replicas 4 -duration 3s -out BENCH_throughput.json
+	$(GO) run ./cmd/teamnet-bench -throughput -clients 8 -duration 3s -out BENCH_throughput.json
+
+# Batch forward-pass comparison: every zoo model through the training
+# Network vs the frozen inference Snapshot at the gateway's 16-row batch;
+# the artifact records rows/sec per engine and pins the snapshot's
+# zero-alloc steady state (DESIGN.md §10).
+bench-forward:
+	$(GO) run ./cmd/teamnet-bench -forward -out BENCH_forward.json
 
 # Open-loop direct-vs-gateway serving comparison: Poisson arrivals with
 # per-request deadlines against a real master/worker over a 2ms edge link;
 # the JSON artifact records the micro-batching goodput win (DESIGN.md §9).
 bench-serve:
-	$(GO) run ./cmd/teamnet-bench -serve -qps 8000 -replicas 4 -duration 3s -out BENCH_serve.json
+	$(GO) run ./cmd/teamnet-bench -serve -qps 10000 -duration 3s -out BENCH_serve.json
 
 # Chaos soak: minutes of Poisson load through the full gateway stack while a
 # scripted fault timeline stalls, resets and heals workers (stall at t/4,
@@ -53,9 +60,10 @@ bench-serve:
 bench-soak:
 	$(GO) run ./cmd/teamnet-bench -soak -soak-duration 2m -out BENCH_soak.json
 
-# Regression gate: re-run the throughput and serving benchmarks with the
-# committed BENCH_*.json configurations and fail on >20% goodput/QPS loss or
-# >20% p99 growth. A shorter re-run window keeps it CI-sized.
+# Regression gate: re-run the throughput, serving and forward benchmarks
+# with the committed BENCH_*.json configurations and fail on >20%
+# goodput/QPS/rows-per-sec loss, >20% p99 growth, or any snapshot forward
+# allocation. A shorter re-run window keeps the wire benchmarks CI-sized.
 bench-check:
 	$(GO) run ./cmd/teamnet-bench -check -check-duration 2s
 

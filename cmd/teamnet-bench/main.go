@@ -59,6 +59,10 @@ func run() error {
 		maxBatch   = flag.Int("max-batch", 16, "serve/soak: gateway row budget per coalesced batch")
 		linger     = flag.Duration("linger", 2*time.Millisecond, "serve/soak: gateway flush timer")
 
+		forward = flag.Bool("forward", false, "run the batch forward-pass benchmark: every zoo model on the training engine vs the frozen inference snapshot")
+		fwBatch = flag.Int("forward-batch", 16, "forward: rows per forward pass")
+		fwDur   = flag.Duration("forward-duration", 300*time.Millisecond, "forward: measured window per model per engine")
+
 		soak         = flag.Bool("soak", false, "run the chaos soak: Poisson load through the full gateway stack under a scripted fault timeline")
 		soakQPS      = flag.Int("soak-qps", 800, "soak: offered Poisson arrival rate, requests/second")
 		soakDuration = flag.Duration("soak-duration", 2*time.Minute, "soak: total run length")
@@ -69,6 +73,7 @@ func run() error {
 		check    = flag.Bool("check", false, "re-run benchmarks with committed configs and fail on >tolerance regression")
 		checkTp  = flag.String("check-throughput", "BENCH_throughput.json", "check: committed throughput artifact (\"\" skips)")
 		checkSv  = flag.String("check-serve", "BENCH_serve.json", "check: committed serve artifact (\"\" skips)")
+		checkFw  = flag.String("check-forward", "BENCH_forward.json", "check: committed forward artifact (\"\" skips)")
 		checkDur = flag.Duration("check-duration", 0, "check: re-run window per mode (0 = the committed window)")
 		checkTol = flag.Float64("check-tolerance", bench.CheckTolerance, "check: allowed relative regression")
 	)
@@ -98,6 +103,14 @@ func run() error {
 		}, *out)
 	}
 
+	if *forward {
+		return runForwardBench(bench.ForwardBenchConfig{
+			Batch:    *fwBatch,
+			Duration: *fwDur,
+			Seed:     *seed,
+		}, *out)
+	}
+
 	if *soak {
 		return runSoak(bench.SoakConfig{
 			TargetQPS: *soakQPS,
@@ -117,6 +130,7 @@ func run() error {
 		return runBenchCheck(bench.CheckConfig{
 			ThroughputPath: *checkTp,
 			ServePath:      *checkSv,
+			ForwardPath:    *checkFw,
 			Duration:       *checkDur,
 			Tolerance:      *checkTol,
 		})
@@ -187,6 +201,17 @@ func runThroughput(cfg bench.ThroughputConfig, out string) error {
 // runServeBench runs the open-loop direct-vs-gateway comparison.
 func runServeBench(cfg bench.ServeBenchConfig, out string) error {
 	report, err := bench.RunServeBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	return writeReport(report, out)
+}
+
+// runForwardBench runs the per-model engine comparison and records the
+// forward artifact (snapshot throughput floors + zero-alloc invariant).
+func runForwardBench(cfg bench.ForwardBenchConfig, out string) error {
+	report, err := bench.RunForwardBench(cfg)
 	if err != nil {
 		return err
 	}

@@ -47,15 +47,11 @@ func run() error {
 		expert    = flag.Int("expert", 0, "which expert of the bundle to serve")
 		listen    = flag.String("listen", "127.0.0.1:7001", "listen address")
 		id        = flag.Int("id", 0, "election identity (unique per node; higher wins)")
-		replicas  = flag.Int("replicas", 1, "expert replicas for concurrent serving")
 		chaosSpec = flag.String("chaos", "", "serve through a fault-injection proxy: comma-separated mode:arg specs (latency:50ms, stall:0.3, reset:0.3, truncate:0.1, corrupt:0.05, dropnth:3)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos fault die")
 		adminAddr = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address, e.g. :8081")
 	)
 	flag.Parse()
-	if *replicas < 1 {
-		return fmt.Errorf("replicas must be ≥ 1")
-	}
 	plan, err := chaos.ParsePlan(*chaosSpec)
 	if err != nil {
 		return err
@@ -74,11 +70,10 @@ func run() error {
 		return fmt.Errorf("expert %d out of range [0, %d)", *expert, team.K())
 	}
 
-	pool, err := team.CloneExpert(*expert, *replicas)
-	if err != nil {
-		return err
-	}
-	worker := cluster.NewWorkerPool(pool, *id)
+	// The worker compiles the expert into a frozen inference snapshot, so
+	// every connection's requests run concurrently on one copy of the
+	// weights — no replica cloning needed.
+	worker := cluster.NewWorker(team.Experts[*expert], *id)
 
 	var proxy *chaos.Proxy
 	addr := *listen
@@ -103,8 +98,8 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("serving expert %d/%d (%s, %d replica(s)) on %s, election id %d\n",
-		*expert, team.K(), team.Spec.Label(), *replicas, addr, *id)
+	fmt.Printf("serving expert %d/%d (%s) on %s, election id %d\n",
+		*expert, team.K(), team.Spec.Label(), addr, *id)
 
 	var adm *admin.Server
 	if *adminAddr != "" {

@@ -8,12 +8,14 @@ import (
 	"time"
 )
 
-// Regression check: `make bench-check` re-runs the transport and serving
-// benchmarks with the configuration recorded in the committed
-// BENCH_throughput.json / BENCH_serve.json artifacts and fails when the
-// headline numbers regress past tolerance — >20% lower goodput/QPS or >20%
-// higher p99 by default. A short re-run is noisy, so each p99 limit also
-// carries a small absolute grace; throughput limits are purely relative.
+// Regression check: `make bench-check` re-runs the transport, serving and
+// forward-pass benchmarks with the configuration recorded in the committed
+// BENCH_throughput.json / BENCH_serve.json / BENCH_forward.json artifacts
+// and fails when the headline numbers regress past tolerance — >20% lower
+// goodput/QPS or >20% higher p99 by default. A short re-run is noisy, so
+// each p99 limit also carries a small absolute grace; throughput limits are
+// purely relative. The forward check additionally pins the snapshot's
+// zero-allocation steady state as an exact invariant.
 
 // CheckTolerance is the default allowed relative regression (20%).
 const CheckTolerance = 0.20
@@ -26,6 +28,7 @@ const checkP99GraceMs = 3.0
 type CheckConfig struct {
 	ThroughputPath string        // committed BENCH_throughput.json ("" skips)
 	ServePath      string        // committed BENCH_serve.json ("" skips)
+	ForwardPath    string        // committed BENCH_forward.json ("" skips)
 	Duration       time.Duration // re-run window per mode; 0 = the committed window
 	Tolerance      float64       // allowed relative regression; 0 = CheckTolerance
 }
@@ -151,6 +154,24 @@ func RunBenchCheck(cfg CheckConfig) (*CheckReport, error) {
 			return nil, fmt.Errorf("bench-check: serve re-run: %w", err)
 		}
 		report.Results = append(report.Results, EvaluateServeCheck(&committed, current, tol)...)
+	}
+
+	if cfg.ForwardPath != "" {
+		var committed ForwardReport
+		if err := readJSON(cfg.ForwardPath, &committed); err != nil {
+			return nil, err
+		}
+		// The forward windows are already CI-sized (hundreds of ms per model
+		// per engine), so the committed window is always used; cfg.Duration
+		// exists to shorten the multi-second wire benchmarks above.
+		current, err := RunForwardBench(ForwardBenchConfig{
+			Batch:    committed.Batch,
+			Duration: time.Duration(committed.DurationSec * float64(time.Second)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench-check: forward re-run: %w", err)
+		}
+		report.Results = append(report.Results, EvaluateForwardCheck(&committed, current, tol)...)
 	}
 
 	if len(report.Results) == 0 {

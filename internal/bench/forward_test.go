@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunForwardBenchSmoke runs the full zoo at a tiny window and checks the
+// artifact invariants the regression gate relies on: every family present,
+// positive throughput on both engines, and the snapshot's zero-allocation
+// steady state.
+func TestRunForwardBenchSmoke(t *testing.T) {
+	report, err := RunForwardBench(ForwardBenchConfig{Batch: 4, Duration: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Batch != 4 {
+		t.Fatalf("batch not recorded: %+v", report)
+	}
+	want := map[string]bool{"MLP-8": false, "MLP-4": false, "MLP-2": false, "SS-26": false, "SS-14": false, "SS-8": false}
+	for _, m := range report.Results {
+		if _, ok := want[m.Model]; !ok {
+			t.Fatalf("unexpected model %q", m.Model)
+		}
+		want[m.Model] = true
+		if m.NetworkRowsPerSec <= 0 || m.SnapshotRowsPerSec <= 0 {
+			t.Fatalf("%s: non-positive throughput: %+v", m.Model, m)
+		}
+		if m.Params <= 0 {
+			t.Fatalf("%s: missing param count", m.Model)
+		}
+		if m.SnapshotAllocsPerOp != 0 && !raceDetectorEnabled {
+			t.Fatalf("%s: snapshot forward allocates %.0f allocs/op, want 0", m.Model, m.SnapshotAllocsPerOp)
+		}
+	}
+	for model, seen := range want {
+		if !seen {
+			t.Fatalf("zoo model %s missing from report", model)
+		}
+	}
+	if !strings.Contains(report.String(), "MLP-8") {
+		t.Fatalf("report text missing models:\n%s", report)
+	}
+}
+
+// TestEvaluateForwardCheck exercises the pure comparison: throughput floors
+// at tolerance, the allocation invariant exactly, and a model missing from
+// the re-run failing rather than silently passing.
+func TestEvaluateForwardCheck(t *testing.T) {
+	committed := &ForwardReport{Batch: 16, Results: []ForwardResult{
+		{Model: "MLP-8", SnapshotRowsPerSec: 1000, SnapshotAllocsPerOp: 0},
+		{Model: "SS-8", SnapshotRowsPerSec: 500, SnapshotAllocsPerOp: 0},
+	}}
+	current := &ForwardReport{Batch: 16, Results: []ForwardResult{
+		{Model: "MLP-8", SnapshotRowsPerSec: 900, SnapshotAllocsPerOp: 0},
+	}}
+	results := EvaluateForwardCheck(committed, current, 0.20)
+	got := map[string]bool{}
+	for _, r := range results {
+		got[r.Name] = r.Pass
+	}
+	if !got["forward.MLP-8.snapshot_rows_per_sec"] {
+		t.Fatal("10% dip failed a 20% floor")
+	}
+	if !got["forward.MLP-8.allocs_per_op"] {
+		t.Fatal("zero allocs failed the invariant")
+	}
+	if pass, ok := got["forward.SS-8.snapshot_rows_per_sec"]; !ok || pass {
+		t.Fatalf("missing model must fail: %v %v", ok, pass)
+	}
+
+	// A regressed floor and a single alloc both fail.
+	current.Results[0].SnapshotRowsPerSec = 700
+	current.Results[0].SnapshotAllocsPerOp = 1
+	for _, r := range EvaluateForwardCheck(committed, current, 0.20) {
+		switch r.Name {
+		case "forward.MLP-8.snapshot_rows_per_sec", "forward.MLP-8.allocs_per_op":
+			if r.Pass {
+				t.Fatalf("%s passed, want fail", r.Name)
+			}
+		}
+	}
+}

@@ -13,7 +13,6 @@ import (
 
 	"github.com/teamnet/teamnet/internal/chaos"
 	"github.com/teamnet/teamnet/internal/cluster"
-	"github.com/teamnet/teamnet/internal/nn"
 	"github.com/teamnet/teamnet/internal/serve"
 	"github.com/teamnet/teamnet/internal/tensor"
 )
@@ -26,8 +25,8 @@ import (
 // Poisson clock at a target rate whether or not earlier ones have finished,
 // each carrying its own deadline, exactly the regime a gateway exists for.
 //
-// Two modes run against identical stacks (real master, real pooled worker,
-// latency-injecting chaos proxy as the edge link):
+// Two modes run against identical stacks (real master, real snapshot-serving
+// worker, latency-injecting chaos proxy as the edge link):
 //
 //   - "direct": every arrival calls Master.InferContext itself, one
 //     single-row broadcast per request. Each request burns a mux window
@@ -45,13 +44,13 @@ import (
 // ServeBenchConfig sizes one direct-vs-gateway comparison. Zero fields take
 // the defaults (8000 req/s offered — well past the ~2000 req/s a single-row
 // direct mode holds over a 2ms link, so the overload behavior is what gets
-// measured — 2s window, 300ms deadline, 4 replicas, 2ms one-way link delay,
-// batch 16, seed 42).
+// measured — 2s window, 300ms deadline, 2ms one-way link delay, batch 16,
+// seed 42).
 type ServeBenchConfig struct {
 	TargetQPS int           // offered Poisson arrival rate, requests/second
 	Duration  time.Duration // measured window per mode
 	Deadline  time.Duration // per-request deadline
-	Replicas  int           // worker expert replicas
+	Replicas  int           // legacy replica knob; kept for committed-artifact compatibility
 	NetDelay  time.Duration // one-way link delay (edge RTT model); < 0 = raw loopback
 	MaxBatch  int           // gateway row budget per coalesced batch
 	Linger    time.Duration // gateway flush timer
@@ -138,7 +137,7 @@ func (r *ServeBenchReport) String() string {
 }
 
 // RunServeBench measures the direct mode first, then the gateway, each
-// against a freshly pooled worker so no supervisor state carries over.
+// against a fresh worker so no supervisor state carries over.
 func RunServeBench(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 	cfg = cfg.normalized()
 	direct, _, err := runServeMode(cfg, false)
@@ -177,11 +176,11 @@ type serveBenchStack struct {
 }
 
 func newServeBenchStack(cfg ServeBenchConfig) (*serveBenchStack, error) {
-	replicas, err := throughputReplicas(cfg.Replicas, cfg.Seed)
+	expert, err := throughputExpert(cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	worker := cluster.NewWorkerPool(replicas, 1)
+	worker := cluster.NewWorker(expert, 1)
 	addr, err := worker.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -214,19 +213,6 @@ func newServeBenchStack(cfg ServeBenchConfig) (*serveBenchStack, error) {
 			}
 		},
 	}, nil
-}
-
-// throughputReplicas builds n untrained paper-shaped MLP replicas.
-func throughputReplicas(n int, seed int64) ([]*nn.Network, error) {
-	replicas := make([]*nn.Network, n)
-	for i := range replicas {
-		e, err := throughputExpert(seed)
-		if err != nil {
-			return nil, err
-		}
-		replicas[i] = e
-	}
-	return replicas, nil
 }
 
 func runServeMode(cfg ServeBenchConfig, viaGateway bool) (ServeBenchResult, float64, error) {

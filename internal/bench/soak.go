@@ -22,7 +22,8 @@ import (
 // serve benchmark measures one steady-state window, the soak holds Poisson
 // load against the full production stack — real gateway (degraded mode and
 // brownout controller on), real master (hedging and the shared retry budget
-// on), real pooled workers, every worker link behind its own chaos proxy —
+// on), real snapshot-serving workers, every worker link behind its own
+// chaos proxy —
 // for minutes, while a scripted fault timeline stalls one expert, resets
 // another's link, and finally heals everything. The output is a time
 // series, one row per interval: goodput, latency quantiles, SLO burn, shed
@@ -67,15 +68,15 @@ func DefaultSoakTimeline(d time.Duration) []SoakEvent {
 }
 
 // SoakConfig sizes one soak run. Zero fields take the defaults (2m run, 5s
-// intervals, 800 req/s offered, 250ms deadline, 3 workers × 2 replicas,
-// 2ms one-way link delay, the default timeline).
+// intervals, 800 req/s offered, 250ms deadline, 3 workers, 2ms one-way
+// link delay, the default timeline).
 type SoakConfig struct {
 	TargetQPS int           // offered Poisson arrival rate, requests/second
 	Duration  time.Duration // total soak length
 	Interval  time.Duration // time-series bucket width
 	Deadline  time.Duration // per-request deadline (also the gateway's SLO target)
 	Workers   int           // worker nodes, each behind its own chaos proxy
-	Replicas  int           // expert replicas per worker
+	Replicas  int           // legacy replica knob; kept for committed-artifact compatibility
 	NetDelay  time.Duration // one-way link delay injected on every healthy link
 	MaxBatch  int           // gateway row budget
 	Linger    time.Duration // gateway flush timer
@@ -261,12 +262,12 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	}
 	proxies := make([]*chaos.Proxy, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		replicas, err := throughputReplicas(cfg.Replicas, cfg.Seed+int64(i))
+		expert, err := throughputExpert(cfg.Seed + int64(i))
 		if err != nil {
 			shutdown()
 			return nil, err
 		}
-		worker := cluster.NewWorkerPool(replicas, i+1)
+		worker := cluster.NewWorker(expert, i+1)
 		addr, err := worker.Listen("127.0.0.1:0")
 		if err != nil {
 			shutdown()

@@ -16,7 +16,7 @@ import (
 // Closed-loop multi-client throughput benchmark: the acceptance harness for
 // the multiplexed peer transport. Unlike the edgesim experiments (which
 // model the paper's single-query latency), this drives a REAL master and a
-// REAL pooled worker over real TCP with N closed-loop clients — each fires
+// REAL snapshot-serving worker over real TCP with N closed-loop clients — each fires
 // its next query the moment the previous one answers — once over the serial
 // one-in-flight protocol (SetMux(false), the pre-mux wire behavior) and
 // once over the pipelined mux transport, and reports QPS plus latency
@@ -26,17 +26,17 @@ import (
 // latency injector, because bare loopback has none of the physics the mux
 // transport exists for: TeamNet deploys over edge WiFi (paper §V), where
 // every round trip costs milliseconds. On such a link the serial protocol
-// caps throughput at one request per RTT no matter how many replicas the
-// worker pools, while the pipeline shares the RTT across every request in
+// caps throughput at one request per RTT however concurrent the worker's
+// inference snapshot is, while the pipeline shares the RTT across every request in
 // its window — that gap is what this benchmark measures. NetDelay < 0
 // selects raw loopback for comparison.
 
 // ThroughputConfig sizes one serial-vs-mux comparison. Zero fields take the
-// defaults (8 clients, 4 replicas, batch 4, 2s per mode, 2ms injected
-// one-way link delay, seed 42).
+// defaults (8 clients, batch 4, 2s per mode, 2ms injected one-way link
+// delay, seed 42).
 type ThroughputConfig struct {
 	Clients  int           // concurrent closed-loop clients
-	Replicas int           // worker expert replicas (mux concurrency ceiling)
+	Replicas int           // legacy replica knob; kept for committed-artifact compatibility
 	Batch    int           // rows per query
 	Duration time.Duration // measured window per mode
 	NetDelay time.Duration // one-way link delay (edge RTT model); < 0 = raw loopback
@@ -100,7 +100,7 @@ func (r *ThroughputReport) String() string {
 	return b.String()
 }
 
-// throughputExpert builds one untrained paper-shaped MLP replica. Weights
+// throughputExpert builds one untrained paper-shaped MLP expert. Weights
 // are irrelevant to throughput; the FLOPs are real.
 func throughputExpert(seed int64) (*nn.Network, error) {
 	spec := nn.Spec{Kind: "mlp", MLP: &nn.MLPSpec{Label: "tp", Input: 64, Width: 128, Layers: 3, Classes: 10}}
@@ -108,7 +108,7 @@ func throughputExpert(seed int64) (*nn.Network, error) {
 }
 
 // RunThroughput measures the serial baseline first, then the mux pipeline,
-// each against a freshly pooled worker so no state carries over.
+// each against a fresh worker so no state carries over.
 func RunThroughput(cfg ThroughputConfig) (*ThroughputReport, error) {
 	cfg = cfg.normalized()
 	serial, err := runThroughputMode(cfg, false)
@@ -139,15 +139,11 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputReport, error) {
 }
 
 func runThroughputMode(cfg ThroughputConfig, mux bool) (ThroughputResult, error) {
-	replicas := make([]*nn.Network, cfg.Replicas)
-	for i := range replicas {
-		e, err := throughputExpert(cfg.Seed)
-		if err != nil {
-			return ThroughputResult{}, err
-		}
-		replicas[i] = e
+	expert, err := throughputExpert(cfg.Seed)
+	if err != nil {
+		return ThroughputResult{}, err
 	}
-	worker := cluster.NewWorkerPool(replicas, 1)
+	worker := cluster.NewWorker(expert, 1)
 	addr, err := worker.Listen("127.0.0.1:0")
 	if err != nil {
 		return ThroughputResult{}, err
@@ -167,8 +163,8 @@ func runThroughputMode(cfg ThroughputConfig, mux bool) (ThroughputResult, error)
 		defer proxy.Close()
 	}
 
-	// Peer-only master: the local expert would serialize on its own mutex
-	// and blur the transport comparison.
+	// Peer-only master: a local expert would add non-wire compute to every
+	// query and blur the transport comparison.
 	master := cluster.NewMaster(nil, 10)
 	defer master.Close()
 	if !mux {

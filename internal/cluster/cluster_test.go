@@ -235,21 +235,17 @@ func TestMasterConcurrentInfers(t *testing.T) {
 	}
 }
 
-func TestWorkerPoolConcurrentCorrectness(t *testing.T) {
+func TestWorkerSnapshotConcurrentCorrectness(t *testing.T) {
 	team, ds := trainSmallTeam(t)
-	replicas, err := team.CloneExpert(1, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	worker := NewWorkerPool(replicas, 1)
+	worker := NewWorker(team.Experts[1], 1)
 	addr, err := worker.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer worker.Close()
 
-	// Several masters hammer the pooled worker concurrently; every answer
-	// must match the in-process expert bit-for-bit (modulo wire float32).
+	// Several masters hammer the worker's shared snapshot concurrently;
+	// every answer must match the in-process expert (modulo wire float32).
 	want := team.Experts[1].Predict(ds.X.SelectRows([]int{0}))
 	var wg sync.WaitGroup
 	errs := make(chan error, 12)
@@ -270,7 +266,7 @@ func TestWorkerPoolConcurrentCorrectness(t *testing.T) {
 					return
 				}
 				if !probs.AllClose(want, 1e-4) {
-					errs <- fmt.Errorf("pooled worker answered differently")
+					errs <- fmt.Errorf("snapshot worker answered differently")
 					return
 				}
 			}
@@ -283,13 +279,13 @@ func TestWorkerPoolConcurrentCorrectness(t *testing.T) {
 	}
 }
 
-func TestNewWorkerPoolEmptyPanics(t *testing.T) {
+func TestNewWorkerNilExpertPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("empty pool did not panic")
+			t.Fatal("nil expert did not panic")
 		}
 	}()
-	NewWorkerPool(nil, 1)
+	NewWorker(nil, 1)
 }
 
 func TestCloneExpertOutOfRange(t *testing.T) {

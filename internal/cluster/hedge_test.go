@@ -18,7 +18,7 @@ import (
 // TestHedgeDisabledByDefault: a fresh master never hedges, whatever the
 // histograms say.
 func TestHedgeDisabledByDefault(t *testing.T) {
-	worker, addr := pooledWorker(t, 110, 1, 2)
+	worker, addr := snapshotWorker(t, 110, 1)
 	master := NewMaster(nil, 3)
 	defer master.Close()
 	if err := master.Connect(addr); err != nil {
@@ -39,7 +39,7 @@ func TestHedgeDisabledByDefault(t *testing.T) {
 // TestHedgeDelaySeededFromHistogram: the timer comes from the peer's live
 // rtt quantile, gated on MinSamples and clamped into [MinDelay, MaxDelay].
 func TestHedgeDelaySeededFromHistogram(t *testing.T) {
-	_, addr := pooledWorker(t, 112, 1, 2)
+	_, addr := snapshotWorker(t, 112, 1)
 	master := NewMaster(nil, 3)
 	defer master.Close()
 	if err := master.Connect(addr); err != nil {

@@ -49,8 +49,7 @@ func (r *tracerRef) set(tr *trace.Tracer) {
 // repeatedly-failing peer is quarantined by a circuit breaker and probed
 // back into rotation — the master survives worker churn without restarts.
 type Master struct {
-	local    *nn.Network // this node's expert; may be nil (pure coordinator)
-	localMu  sync.Mutex  // nn.Network is single-goroutine; Infer may not be
+	local    *nn.Snapshot // this node's frozen expert; may be nil (pure coordinator)
 	classes  int
 	counters *metrics.CounterSet
 	gauges   *metrics.GaugeSet
@@ -99,11 +98,17 @@ type peerConn struct {
 	muxOff     bool // master-level SetMux(false)
 }
 
-// NewMaster returns a master with an optional local expert. classes is the
-// classifier width, needed to shape gathered results.
+// NewMaster returns a master with an optional local expert, compiled into
+// a frozen inference snapshot so concurrent Infer calls never serialize on
+// it. classes is the classifier width, needed to shape gathered results.
+// It panics on an uncompilable expert (programmer error at construction).
 func NewMaster(local *nn.Network, classes int) *Master {
+	var snap *nn.Snapshot
+	if local != nil {
+		snap = nn.MustSnapshot(local)
+	}
 	return &Master{
-		local:    local,
+		local:    snap,
 		classes:  classes,
 		counters: metrics.NewCounterSet(),
 		gauges:   metrics.NewGaugeSet(),
@@ -240,11 +245,9 @@ func (m *Master) Nodes() int {
 	return n
 }
 
-// localPredict serializes the local expert: nn.Network is single-goroutine
-// but Infer is safe to call concurrently.
+// localPredict runs the local expert's snapshot; concurrent Infer calls
+// proceed in parallel, the snapshot is freely shared.
 func (m *Master) localPredict(x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-	m.localMu.Lock()
-	defer m.localMu.Unlock()
 	return m.local.PredictWithEntropy(x)
 }
 

@@ -37,7 +37,10 @@ type MoEExpertServer struct {
 // ServeMoEExpert starts serving the expert on addr and returns the bound
 // address and the server handle.
 func ServeMoEExpert(expert *nn.Network, addr string) (string, *MoEExpertServer, error) {
-	var mu sync.Mutex
+	snap, err := nn.NewSnapshot(expert)
+	if err != nil {
+		return "", nil, fmt.Errorf("cluster: moe expert snapshot: %w", err)
+	}
 	s := &MoEExpertServer{
 		srv:      transport.NewRPCServer(),
 		counters: metrics.NewCounterSet(),
@@ -52,9 +55,7 @@ func ServeMoEExpert(expert *nn.Network, addr string) (string, *MoEExpertServer, 
 			return nil, fmt.Errorf("cluster: moe predict decode: %w", err)
 		}
 		start := time.Now()
-		mu.Lock()
-		probs := expert.Predict(x)
-		mu.Unlock()
+		probs := snap.Predict(x)
 		s.hists.Observe("predict", time.Since(start))
 		return transport.EncodeTensor(probs), nil
 	})

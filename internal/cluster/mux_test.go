@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"github.com/teamnet/teamnet/internal/chaos"
-	"github.com/teamnet/teamnet/internal/nn"
 	"github.com/teamnet/teamnet/internal/tensor"
 	"github.com/teamnet/teamnet/internal/transport"
 )
@@ -22,14 +21,10 @@ import (
 // fleets (old master or old worker) keep working. All run under -race via
 // the verify target.
 
-// pooledWorker starts a worker with n identical expert replicas.
-func pooledWorker(t *testing.T, seed int64, id, n int) (*Worker, string) {
+// snapshotWorker starts a worker serving one seeded expert snapshot.
+func snapshotWorker(t *testing.T, seed int64, id int) (*Worker, string) {
 	t.Helper()
-	replicas := make([]*nn.Network, n)
-	for i := range replicas {
-		replicas[i] = tinyExpert(t, seed) // same seed: identical weights
-	}
-	w := NewWorkerPool(replicas, id)
+	w := NewWorker(tinyExpert(t, seed), id)
 	addr, err := w.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -40,11 +35,11 @@ func pooledWorker(t *testing.T, seed int64, id, n int) (*Worker, string) {
 
 // TestMuxConcurrentInfer is the acceptance check for the pipeline: many
 // goroutines drive Infer and InferBestEffort through one mux link against a
-// pooled worker, every result matches the serial protocol's answer, the
+// snapshot worker, every result matches the serial protocol's answer, the
 // worker demonstrably served over mux, and the in-flight gauge drains back
 // to zero.
 func TestMuxConcurrentInfer(t *testing.T) {
-	worker, addr := pooledWorker(t, 90, 1, 4)
+	worker, addr := snapshotWorker(t, 90, 1)
 
 	// Reference answer via the serial protocol (SetMux(false) is the
 	// pre-mux wire behavior).
@@ -296,7 +291,7 @@ func TestMuxStaleAdoptedConnNoDowngrade(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 
-	w1 := NewWorkerPool([]*nn.Network{tinyExpert(t, 102)}, 1)
+	w1 := NewWorker(tinyExpert(t, 102), 1)
 	if _, err := w1.Listen(addr); err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +304,7 @@ func TestMuxStaleAdoptedConnNoDowngrade(t *testing.T) {
 	}
 
 	w1.Close() // restart: same address, new process, master's socket now dead
-	w2 := NewWorkerPool([]*nn.Network{tinyExpert(t, 102)}, 1)
+	w2 := NewWorker(tinyExpert(t, 102), 1)
 	if _, err := w2.Listen(addr); err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +331,7 @@ func TestMuxStaleAdoptedConnNoDowngrade(t *testing.T) {
 // one in flight, against the new worker. The wire answer must be the
 // classic MsgResult, and the worker must never count a mux request.
 func TestOldMasterRawSerialAgainstNewWorker(t *testing.T) {
-	worker, addr := pooledWorker(t, 96, 1, 2)
+	worker, addr := snapshotWorker(t, 96, 1)
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {

@@ -124,7 +124,7 @@ func TestRetryBudgetStarvesRetries(t *testing.T) {
 // at Ratio, so a drained budget recovers once the storm passes and real
 // traffic resumes.
 func TestRetryBudgetDepositsOnTraffic(t *testing.T) {
-	_, addr := pooledWorker(t, 123, 1, 2)
+	_, addr := snapshotWorker(t, 123, 1)
 	master := NewMaster(nil, 3)
 	defer master.Close()
 	if err := master.Connect(addr); err != nil {

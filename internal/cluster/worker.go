@@ -16,9 +16,9 @@ import (
 // Worker serves one TeamNet expert over raw TCP: the edge-node role of
 // Figure 1(d). It answers MsgPredict frames with MsgResult frames carrying
 // probabilities and predictive entropies, answers pipelined MsgPredictMux
-// frames concurrently — dispatching onto the replica pool and writing
-// replies out of order under a per-connection write lock — and responds to
-// pings and election traffic.
+// frames concurrently — running them on the expert's frozen inference
+// snapshot and writing replies out of order under a per-connection write
+// lock — and responds to pings and election traffic.
 //
 // Every result carries the measured expert compute time as a trailing
 // timing trailer (see tracewire.go), so the master can split its observed
@@ -26,8 +26,8 @@ import (
 // trailer additionally record a "worker.predict" span — under the
 // propagated master trace id — into the worker's own tracer.
 type Worker struct {
-	pool     chan *nn.Network // expert replicas; nn.Network is single-goroutine
-	id       int              // election identity; higher wins
+	snap     *nn.Snapshot // frozen expert; safe for concurrent inference
+	id       int          // election identity; higher wins
 	counters *metrics.CounterSet
 	hists    *metrics.HistogramSet
 	tracer   *tracerRef
@@ -38,28 +38,24 @@ type Worker struct {
 	closed   bool
 }
 
-// NewWorker wraps an expert network for serving. id is the node's election
-// identity (any distinct non-negative int; higher ids win elections).
-// Inference requests are serialized on the single expert; use
-// NewWorkerPool for concurrent serving.
+// NewWorker compiles an expert network into a frozen inference snapshot
+// and wraps it for serving; any number of requests then run concurrently
+// on the snapshot (bounded per connection by workerMuxWindow). id is the
+// node's election identity (any distinct non-negative int; higher ids win
+// elections). It panics on a nil or uncompilable expert (programmer error
+// at construction).
 func NewWorker(expert *nn.Network, id int) *Worker {
-	return NewWorkerPool([]*nn.Network{expert}, id)
+	return NewWorkerSnapshot(nn.MustSnapshot(expert), id)
 }
 
-// NewWorkerPool serves a pool of identical expert replicas: up to
-// len(replicas) inferences run concurrently (each nn.Network instance is
-// single-goroutine). Build replicas with core.Team.CloneExpert. It panics
-// on an empty pool (programmer error at construction).
-func NewWorkerPool(replicas []*nn.Network, id int) *Worker {
-	if len(replicas) == 0 {
-		panic("cluster: worker needs at least one expert replica")
-	}
-	pool := make(chan *nn.Network, len(replicas))
-	for _, e := range replicas {
-		pool <- e
+// NewWorkerSnapshot wraps an already-compiled snapshot for serving, for
+// callers that share one snapshot between serving and other consumers.
+func NewWorkerSnapshot(snap *nn.Snapshot, id int) *Worker {
+	if snap == nil {
+		panic("cluster: worker needs an expert snapshot")
 	}
 	return &Worker{
-		pool:     pool,
+		snap:     snap,
 		id:       id,
 		conns:    make(map[net.Conn]struct{}),
 		counters: metrics.NewCounterSet(),
@@ -142,8 +138,9 @@ func (w *Worker) handleConn(conn net.Conn) {
 
 // workerMuxWindow bounds the mux requests one connection may have in
 // flight on the worker: the read loop blocks past it, so a flooding client
-// gets TCP backpressure instead of unbounded handler goroutines. (Compute
-// parallelism is separately bounded by the replica pool.)
+// gets TCP backpressure instead of unbounded handler goroutines. The
+// snapshot itself has no concurrency limit — this window is the worker's
+// only compute-parallelism bound.
 const workerMuxWindow = 64
 
 // connWriter serializes frame writes on one connection: the serial read
@@ -198,7 +195,7 @@ func (w *Worker) serveConn(conn net.Conn) {
 				_ = cw.write(MsgError, []byte(err.Error()))
 				return
 			}
-			// Dispatch concurrently onto the replica pool; the semaphore
+			// Dispatch concurrently onto the expert snapshot; the semaphore
 			// bounds handlers per connection, replies write out of order
 			// under the connection's write lock.
 			sem <- struct{}{}
@@ -245,7 +242,7 @@ func (w *Worker) serveMuxPredict(cw *connWriter, id uint32, body []byte) {
 }
 
 // runPredict decodes one predict body (tensor plus optional trace
-// trailer), runs a pooled expert replica on it, and returns the encoded
+// trailer), runs the expert snapshot on it, and returns the encoded
 // result payload — or an error message, with decodeFailed distinguishing
 // an undecodable body from a failed prediction.
 func (w *Worker) runPredict(body []byte) (result []byte, errText string, decodeFailed bool) {
@@ -275,20 +272,18 @@ func (w *Worker) runPredict(body []byte) (result []byte, errText string, decodeF
 	return appendComputeTime(EncodeResult(res), compute), "", false
 }
 
-// predict runs one pooled expert replica on x (step 3 of Fig 1d) and pairs
-// every row with its predictive entropy. A panic inside the network (shape
-// mismatch from a hostile or corrupted tensor) is recovered into an error
-// so the node keeps serving.
+// predict runs the expert snapshot on x (step 3 of Fig 1d) and pairs
+// every row with its predictive entropy. A panic inside the snapshot
+// (shape mismatch from a hostile or corrupted tensor) is recovered into an
+// error so the node keeps serving.
 func (w *Worker) predict(x *tensor.Tensor) (res PredictResult, err error) {
-	expert := <-w.pool
-	defer func() { w.pool <- expert }()
 	defer func() {
 		if r := recover(); r != nil {
 			w.counters.Counter("panics.recovered").Inc()
 			err = fmt.Errorf("cluster: predict panic: %v", r)
 		}
 	}()
-	probs, ent := expert.PredictWithEntropy(x)
+	probs, ent := w.snap.PredictWithEntropy(x)
 	return PredictResult{Probs: probs, Entropy: ent.Data}, nil
 }
 

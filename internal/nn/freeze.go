@@ -1,0 +1,481 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Inference snapshots: a Snapshot is a frozen, read-only compilation of a
+// trained Network that many goroutines can run Forward on concurrently.
+// Compilation clones every parameter and running statistic, so later
+// training steps on the source network never race with serving; per-call
+// scratch comes from a pooled bump arena, so a steady-state forward pass
+// performs zero heap allocations. Each compiled step reproduces the exact
+// floating-point expression of its layer's inference path (and the matmul
+// steps share tensor's kernel), so Snapshot outputs are bit-identical to
+// Network.Forward in inference mode.
+
+// Snapshot is a frozen inference-only view of a Network, safe for
+// concurrent Forward/Predict calls. Build one with NewSnapshot after
+// training (or loading) a network.
+type Snapshot struct {
+	label  string
+	steps  []inferStep
+	arenas sync.Pool // *arena
+}
+
+// NewSnapshot compiles n into a frozen snapshot. It returns an error if the
+// network contains a layer type the compiler does not know (new layer types
+// must add a case to compileStep).
+func NewSnapshot(n *Network) (*Snapshot, error) {
+	if n == nil {
+		return nil, fmt.Errorf("nn: NewSnapshot of nil network")
+	}
+	steps, err := compileSteps(n.Layers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{label: n.label, steps: steps}
+	s.arenas.New = func() any { return &arena{} }
+	return s, nil
+}
+
+// MustSnapshot is NewSnapshot panicking on error, for call sites where an
+// uncompilable network is a programmer error (every layer in this
+// repository compiles).
+func MustSnapshot(n *Network) *Snapshot {
+	s, err := NewSnapshot(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Label returns the source network's label.
+func (s *Snapshot) Label() string { return s.label }
+
+// Forward runs the snapshot on a [batch, features] input and returns the
+// final activations in a new tensor. Safe to call concurrently.
+func (s *Snapshot) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, width := snapshotInputDims(x)
+	ar := s.arenas.Get().(*arena)
+	defer s.release(ar)
+	out, w := runSteps(ar, s.steps, x.Data, batch, width)
+	res := tensor.New(batch, w)
+	copy(res.Data, out)
+	return res
+}
+
+// ForwardInto runs the snapshot writing the final activations into dst,
+// which must already have the output shape [batch, outFeatures]. This is
+// the zero-allocation entry point: with a warmed-up snapshot it performs no
+// heap allocation. Safe to call concurrently (with distinct dst).
+func (s *Snapshot) ForwardInto(dst, x *tensor.Tensor) {
+	batch, width := snapshotInputDims(x)
+	ar := s.arenas.Get().(*arena)
+	defer s.release(ar)
+	out, w := runSteps(ar, s.steps, x.Data, batch, width)
+	if len(dst.Shape) != 2 || dst.Shape[0] != batch || dst.Shape[1] != w {
+		panic(fmt.Sprintf("nn: Snapshot.ForwardInto dst shape %v != [%d %d]", dst.Shape, batch, w))
+	}
+	copy(dst.Data, out)
+}
+
+// Predict returns class probabilities (softmax of the logits), the
+// snapshot counterpart of Network.Predict. Safe to call concurrently.
+func (s *Snapshot) Predict(x *tensor.Tensor) *tensor.Tensor {
+	probs := s.Forward(x)
+	tensor.SoftmaxRowsInto(probs.Data, probs.Data, probs.Shape[0], probs.Shape[1])
+	return probs
+}
+
+// PredictWithEntropy returns class probabilities and per-sample predictive
+// entropy, the snapshot counterpart of Network.PredictWithEntropy. Safe to
+// call concurrently.
+func (s *Snapshot) PredictWithEntropy(x *tensor.Tensor) (probs, entropy *tensor.Tensor) {
+	probs = s.Predict(x)
+	return probs, tensor.EntropyRows(probs)
+}
+
+// PredictWithEntropyInto is the zero-allocation form of PredictWithEntropy:
+// probs must be [batch, classes] and entropy [batch] (or any rank-1 of
+// batch elements); both are fully overwritten.
+func (s *Snapshot) PredictWithEntropyInto(probs, entropy, x *tensor.Tensor) {
+	s.ForwardInto(probs, x)
+	batch, classes := probs.Shape[0], probs.Shape[1]
+	if entropy.Size() != batch {
+		panic(fmt.Sprintf("nn: Snapshot.PredictWithEntropyInto entropy size %d != batch %d", entropy.Size(), batch))
+	}
+	tensor.SoftmaxRowsInto(probs.Data, probs.Data, batch, classes)
+	tensor.EntropyRowsInto(entropy.Data, probs.Data, batch, classes)
+}
+
+// release resets an arena and returns it to the pool; deferred so that a
+// panic on malformed input (the cluster worker turns those into RPC errors)
+// cannot leak or corrupt scratch state.
+func (s *Snapshot) release(ar *arena) {
+	ar.reset()
+	s.arenas.Put(ar)
+}
+
+func snapshotInputDims(x *tensor.Tensor) (batch, width int) {
+	if len(x.Shape) != 2 {
+		panic(fmt.Sprintf("nn: Snapshot input must be rank-2, got shape %v", x.Shape))
+	}
+	return x.Shape[0], x.Shape[1]
+}
+
+// arena is a bump allocator for forward-pass scratch. take hands out
+// sub-slices of one backing buffer; when a pass outgrows the buffer the
+// overflow spills to ordinary allocations and reset regrows the buffer to
+// the high-water mark, so the next pass (and every one after) allocates
+// nothing.
+type arena struct {
+	buf      []float64
+	off      int
+	overflow [][]float64
+}
+
+func (a *arena) take(n int) []float64 {
+	if a.off+n <= len(a.buf) {
+		s := a.buf[a.off : a.off+n : a.off+n]
+		a.off += n
+		return s
+	}
+	blk := make([]float64, n)
+	a.overflow = append(a.overflow, blk)
+	return blk
+}
+
+func (a *arena) reset() {
+	if len(a.overflow) > 0 {
+		need := a.off
+		for _, blk := range a.overflow {
+			need += len(blk)
+		}
+		a.buf = make([]float64, need)
+		a.overflow = nil
+	}
+	a.off = 0
+}
+
+// inferStep is one compiled layer. run consumes a [batch, width] row-major
+// activation slice and returns the output activations (arena-backed or the
+// input itself for identity steps) with their per-row width.
+type inferStep interface {
+	run(a *arena, x []float64, batch, width int) ([]float64, int)
+}
+
+func runSteps(a *arena, steps []inferStep, x []float64, batch, width int) ([]float64, int) {
+	for _, st := range steps {
+		x, width = st.run(a, x, batch, width)
+	}
+	return x, width
+}
+
+func compileSteps(layers []Layer) ([]inferStep, error) {
+	steps := make([]inferStep, 0, len(layers))
+	for _, l := range layers {
+		st, err := compileStep(l)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil { // identity layers compile to nothing
+			steps = append(steps, st)
+		}
+	}
+	return steps, nil
+}
+
+func compileStep(l Layer) (inferStep, error) {
+	switch l := l.(type) {
+	case *Dense:
+		return &denseStep{
+			w:  append([]float64(nil), l.W.Data...),
+			b:  append([]float64(nil), l.B.Data...),
+			in: l.in, out: l.out,
+		}, nil
+	case *ReLU:
+		return reluStep{}, nil
+	case *Tanh:
+		return tanhStep{}, nil
+	case *Sigmoid:
+		return sigmoidStep{}, nil
+	case *Dropout:
+		return nil, nil // identity at inference
+	case *BatchNorm:
+		st := &bnStep{
+			c: l.C, s: l.S,
+			mean:   append([]float64(nil), l.RunMean.Data...),
+			invStd: make([]float64, l.C),
+			gamma:  append([]float64(nil), l.Gamma.Data...),
+			beta:   append([]float64(nil), l.Beta.Data...),
+		}
+		for c := 0; c < l.C; c++ {
+			st.invStd[c] = 1 / math.Sqrt(l.RunVar.Data[c]+l.Eps)
+		}
+		return st, nil
+	case *Conv2D:
+		// Transpose the [patchLen, outC] kernel once at compile time; the
+		// conv step multiplies in the transposed orientation.
+		pl := l.Geom.PatchLen()
+		wt := make([]float64, l.Geom.OutC*pl)
+		for p := 0; p < pl; p++ {
+			for oc := 0; oc < l.Geom.OutC; oc++ {
+				wt[oc*pl+p] = l.W.Data[p*l.Geom.OutC+oc]
+			}
+		}
+		return &convStep{
+			geom: l.Geom,
+			wt:   wt,
+			b:    append([]float64(nil), l.B.Data...),
+		}, nil
+	case *MaxPool2D:
+		return &maxPoolStep{c: l.C, h: l.H, w: l.W, k: l.K, outH: l.outH, outW: l.outW}, nil
+	case *GlobalAvgPool:
+		return &gapStep{c: l.C, sp: l.H * l.W}, nil
+	case *ShakeShake:
+		b1, err := compileSteps(l.Branch1.Layers)
+		if err != nil {
+			return nil, err
+		}
+		b2, err := compileSteps(l.Branch2.Layers)
+		if err != nil {
+			return nil, err
+		}
+		st := &shakeStep{b1: b1, b2: b2}
+		if l.Skip != nil {
+			skip, err := compileStep(l.Skip)
+			if err != nil {
+				return nil, err
+			}
+			st.skip = skip
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("nn: snapshot cannot compile layer %q", l.Name())
+	}
+}
+
+type denseStep struct {
+	w, b    []float64
+	in, out int
+}
+
+func (d *denseStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	if width != d.in {
+		panic(fmt.Sprintf("nn: snapshot dense input width %d != %d", width, d.in))
+	}
+	out := a.take(batch * d.out)
+	clear(out)
+	tensor.GEMMAcc(out, x, d.w, batch, d.in, d.out)
+	addBiasRows(out, d.b, batch, d.out)
+	return out, d.out
+}
+
+// addBiasRows adds bias to every row, mirroring Tensor.AddRowVector.
+func addBiasRows(y, bias []float64, rows, cols int) {
+	for i := 0; i < rows; i++ {
+		row := y[i*cols : (i+1)*cols]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+type reluStep struct{}
+
+func (reluStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	out := a.take(batch * width)
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+	return out, width
+}
+
+type tanhStep struct{}
+
+func (tanhStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	out := a.take(batch * width)
+	for i, v := range x {
+		out[i] = math.Tanh(v)
+	}
+	return out, width
+}
+
+type sigmoidStep struct{}
+
+func (sigmoidStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	out := a.take(batch * width)
+	for i, v := range x {
+		out[i] = 1 / (1 + math.Exp(-v))
+	}
+	return out, width
+}
+
+type bnStep struct {
+	c, s                      int
+	mean, invStd, gamma, beta []float64
+}
+
+func (b *bnStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	if width != b.c*b.s {
+		panic(fmt.Sprintf("nn: snapshot batchnorm features %d != %d·%d", width, b.c, b.s))
+	}
+	out := a.take(batch * width)
+	for c := 0; c < b.c; c++ {
+		mean := b.mean[c]
+		invStd := b.invStd[c]
+		g, bt := b.gamma[c], b.beta[c]
+		for bi := 0; bi < batch; bi++ {
+			src := x[bi*b.c*b.s+c*b.s:]
+			dst := out[bi*b.c*b.s+c*b.s:]
+			for s := 0; s < b.s; s++ {
+				dst[s] = g*((src[s]-mean)*invStd) + bt
+			}
+		}
+	}
+	return out, width
+}
+
+// convStep runs convolution in the transposed orientation: instead of the
+// training layer's (batch·spatial × PatchLen) × (PatchLen × OutC) product,
+// it computes the transpose — (OutC × PatchLen) × (PatchLen ×
+// batch·spatial) — over a transposed patch matrix. Both orientations suit
+// inference better than training's because the transposed product has
+// thousands-wide output rows (batch·spatial) instead of a few channels, so
+// the register-tiled GEMM kernel runs at full width; the transposed patch
+// matrix fills by contiguous image-row span copies instead of
+// patch-stride scatter; and the NCHW rearrangement of the result becomes
+// per-(channel, image) contiguous span copies with the bias add fused in.
+//
+// Bit-exactness with the training path is preserved: every output element
+// accumulates the same products (IEEE multiplication is commutative) in
+// the same increasing patch-position order, then adds the same bias.
+type convStep struct {
+	geom tensor.ConvGeom
+	wt   []float64 // transposed kernel matrix, OutC × PatchLen
+	b    []float64
+}
+
+func (c *convStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	g := c.geom
+	if width != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("nn: snapshot conv input width %d != %d·%d·%d", width, g.InC, g.InH, g.InW))
+	}
+	sp := g.OutH * g.OutW
+	rows := batch * sp
+	pl := g.PatchLen()
+	colsT := a.take(pl * rows)
+	tensor.Im2ColTransInto(colsT, x, batch, g)
+	yt := a.take(g.OutC * rows)
+	clear(yt)
+	tensor.GEMMAcc(yt, c.wt, colsT, g.OutC, pl, rows)
+	// Rearrange [outC, batch·spatial] to [batch, outC·spatial] NCHW
+	// (mirroring spatialToNCHW), adding the channel bias on the way out.
+	out := a.take(batch * g.OutC * sp)
+	for cc := 0; cc < g.OutC; cc++ {
+		bias := c.b[cc]
+		src := yt[cc*rows:]
+		for b := 0; b < batch; b++ {
+			srcRow := src[b*sp : b*sp+sp]
+			dstRow := out[(b*g.OutC+cc)*sp : (b*g.OutC+cc+1)*sp]
+			for s, v := range srcRow {
+				dstRow[s] = v + bias
+			}
+		}
+	}
+	return out, g.OutC * sp
+}
+
+type maxPoolStep struct {
+	c, h, w, k, outH, outW int
+}
+
+func (m *maxPoolStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	if width != m.c*m.h*m.w {
+		panic(fmt.Sprintf("nn: snapshot maxpool input width %d != %d·%d·%d", width, m.c, m.h, m.w))
+	}
+	out := a.take(batch * m.c * m.outH * m.outW)
+	for b := 0; b < batch; b++ {
+		img := x[b*m.c*m.h*m.w:]
+		dst := out[b*m.c*m.outH*m.outW:]
+		for c := 0; c < m.c; c++ {
+			for oy := 0; oy < m.outH; oy++ {
+				for ox := 0; ox < m.outW; ox++ {
+					best := math.Inf(-1)
+					for ky := 0; ky < m.k; ky++ {
+						for kx := 0; kx < m.k; kx++ {
+							off := c*m.h*m.w + (oy*m.k+ky)*m.w + ox*m.k + kx
+							if img[off] > best {
+								best = img[off]
+							}
+						}
+					}
+					dst[c*m.outH*m.outW+oy*m.outW+ox] = best
+				}
+			}
+		}
+	}
+	return out, m.c * m.outH * m.outW
+}
+
+type gapStep struct {
+	c, sp int
+}
+
+func (g *gapStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	if width != g.c*g.sp {
+		panic(fmt.Sprintf("nn: snapshot gap input width %d != %d·%d", width, g.c, g.sp))
+	}
+	out := a.take(batch * g.c)
+	inv := 1 / float64(g.sp)
+	for b := 0; b < batch; b++ {
+		img := x[b*g.c*g.sp:]
+		for c := 0; c < g.c; c++ {
+			s := 0.0
+			for _, v := range img[c*g.sp : (c+1)*g.sp] {
+				s += v
+			}
+			out[b*g.c+c] = s * inv
+		}
+	}
+	return out, g.c
+}
+
+type shakeStep struct {
+	b1, b2 []inferStep
+	skip   inferStep // nil means identity residual
+}
+
+func (s *shakeStep) run(a *arena, x []float64, batch, width int) ([]float64, int) {
+	y1, w1 := runSteps(a, s.b1, x, batch, width)
+	y2, w2 := runSteps(a, s.b2, x, batch, width)
+	if w2 != w1 {
+		panic(fmt.Sprintf("nn: snapshot shake-shake branch widths differ: %d vs %d", w1, w2))
+	}
+	res, rw := x, width
+	if s.skip != nil {
+		res, rw = s.skip.run(a, x, batch, width)
+	}
+	if rw != w1 {
+		panic(fmt.Sprintf("nn: snapshot shake-shake residual width %d != branch width %d (missing skip projection?)", rw, w1))
+	}
+	out := a.take(batch * w1)
+	// Inference mixes the branches 0.5/0.5; the three adds below mirror the
+	// Scale/Add/Add sequence of ShakeShake.Forward term for term.
+	for i := range out {
+		v1 := y1[i] * 0.5
+		v2 := y2[i] * 0.5
+		t := v1 + v2
+		out[i] = t + res[i]
+	}
+	return out, w1
+}

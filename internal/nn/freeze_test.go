@@ -1,0 +1,268 @@
+package nn
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// zooModels builds every architecture family in the zoo at test-sized
+// geometry, with batch-norm running statistics populated by one training
+// pass so the inference path exercises real statistics.
+func zooModels(t *testing.T) []*Network {
+	t.Helper()
+	rng := tensor.NewRNG(41)
+	specs := []Spec{DigitsBaseline(64, 10)}
+	for _, k := range []int{2, 4} {
+		s, err := DigitsExpert(k, 64, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	specs = append(specs, ObjectsBaseline(3, 8, 8, 10))
+	for _, k := range []int{2, 4} {
+		s, err := ObjectsExpert(k, 3, 8, 8, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	nets := make([]*Network, 0, len(specs))
+	for _, spec := range specs {
+		net, err := spec.Build(rng.Split(int64(len(nets))))
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.Label(), err)
+		}
+		x := rng.Randn(4, inputWidth(net))
+		net.Forward(x, true) // populate batch-norm running stats
+		nets = append(nets, net)
+	}
+	return nets
+}
+
+// inputWidth infers a network's input width from its first layer.
+func inputWidth(n *Network) int {
+	switch l := n.Layers[0].(type) {
+	case *Dense:
+		return l.In()
+	case *Conv2D:
+		return l.Geom.InC * l.Geom.InH * l.Geom.InW
+	default:
+		panic("test: cannot infer input width for " + l.Name())
+	}
+}
+
+// bitEqual reports whether two tensors agree bit for bit.
+func bitEqual(a, b *tensor.Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Float64bits(v) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotBitMatchesNetwork is the property test of the snapshot
+// compiler: for every zoo model, Snapshot output must bit-match the
+// network's own inference forward, for logits, probabilities, and entropy.
+func TestSnapshotBitMatchesNetwork(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	for _, net := range zooModels(t) {
+		x := rng.Randn(5, inputWidth(net))
+		snap, err := NewSnapshot(net)
+		if err != nil {
+			t.Fatalf("%s: NewSnapshot: %v", net.Label(), err)
+		}
+		if snap.Label() != net.Label() {
+			t.Errorf("snapshot label %q != %q", snap.Label(), net.Label())
+		}
+		want := net.Forward(x, false)
+		got := snap.Forward(x)
+		if !bitEqual(want, got) {
+			t.Errorf("%s: snapshot Forward does not bit-match network", net.Label())
+		}
+		wantP, wantH := net.PredictWithEntropy(x)
+		gotP, gotH := snap.PredictWithEntropy(x)
+		if !bitEqual(wantP, gotP) || !bitEqual(wantH, gotH) {
+			t.Errorf("%s: snapshot PredictWithEntropy does not bit-match network", net.Label())
+		}
+		probs := tensor.New(wantP.Shape[0], wantP.Shape[1])
+		ent := tensor.New(wantH.Size())
+		snap.PredictWithEntropyInto(probs, ent, x)
+		if !bitEqual(wantP, probs) || !bitEqual(wantH, ent) {
+			t.Errorf("%s: PredictWithEntropyInto does not bit-match network", net.Label())
+		}
+	}
+}
+
+// TestSnapshotBitMatchesMixedActivations covers the gate-style layers the
+// zoo specs do not use: Tanh, Sigmoid, and inference-mode Dropout.
+func TestSnapshotBitMatchesMixedActivations(t *testing.T) {
+	rng := tensor.NewRNG(43)
+	net := NewNetwork("gate",
+		NewDense(12, 16, rng), NewTanh(), NewDropout(0.3, rng),
+		NewDense(16, 8, rng), NewSigmoid())
+	x := rng.Randn(7, 12)
+	snap := MustSnapshot(net)
+	if !bitEqual(net.Forward(x, false), snap.Forward(x)) {
+		t.Fatal("snapshot of tanh/dropout/sigmoid net does not bit-match network")
+	}
+}
+
+// TestSnapshotConcurrentForward hammers one snapshot from many goroutines
+// (run under -race by `make verify`), checking every call against golden
+// per-row outputs computed by the source network.
+func TestSnapshotConcurrentForward(t *testing.T) {
+	rng := tensor.NewRNG(44)
+	spec, err := ObjectsExpert(4, 3, 8, 8, 10) // conv path: the hard case
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := spec.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputWidth(net)
+	net.Forward(rng.Randn(4, in), true) // populate running stats
+	x := rng.Randn(6, in)
+	golden := net.Forward(x, false)
+	snap := MustSnapshot(net)
+
+	const goroutines = 12
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := tensor.New(golden.Shape[0], golden.Shape[1])
+			for it := 0; it < iters; it++ {
+				snap.ForwardInto(dst, x)
+				if !bitEqual(golden, dst) {
+					select {
+					case errs <- "concurrent ForwardInto diverged from golden output":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestSnapshotZeroAllocSteadyState gates the zero-allocation property: a
+// warmed-up ForwardInto / PredictWithEntropyInto must not touch the heap.
+// The 64-row batch through MLP-8 is large enough to take the parallel
+// matmul dispatch path, so the kernel worker-pool hand-off is covered too.
+func TestSnapshotZeroAllocSteadyState(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector, so steady state allocates by design")
+	}
+	rng := tensor.NewRNG(45)
+	net, err := DigitsBaseline(64, 10).Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := MustSnapshot(net)
+	x := rng.Randn(64, 64)
+	probs := tensor.New(64, 10)
+	ent := tensor.New(64)
+	for i := 0; i < 3; i++ { // warm up arenas and kernel pool
+		snap.PredictWithEntropyInto(probs, ent, x)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		snap.ForwardInto(probs, x)
+	}); allocs != 0 {
+		t.Errorf("ForwardInto steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		snap.PredictWithEntropyInto(probs, ent, x)
+	}); allocs != 0 {
+		t.Errorf("PredictWithEntropyInto steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+type bogusLayer struct{}
+
+func (bogusLayer) Name() string                                    { return "bogus" }
+func (bogusLayer) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor { return x }
+func (bogusLayer) Backward(g *tensor.Tensor) *tensor.Tensor        { return g }
+
+func TestSnapshotRejectsUnknownLayer(t *testing.T) {
+	net := NewNetwork("bogus", bogusLayer{})
+	if _, err := NewSnapshot(net); err == nil {
+		t.Fatal("NewSnapshot accepted an uncompilable layer")
+	}
+	if _, err := NewSnapshot(nil); err == nil {
+		t.Fatal("NewSnapshot accepted a nil network")
+	}
+}
+
+func TestSnapshotPanicsOnBadInputWidth(t *testing.T) {
+	rng := tensor.NewRNG(46)
+	net := NewNetwork("tiny", NewDense(8, 4, rng))
+	snap := MustSnapshot(net)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("snapshot accepted a mis-sized input")
+		}
+	}()
+	snap.Forward(tensor.New(2, 5))
+}
+
+// benchForwardPair benchmarks a model through both forward paths at the
+// gateway's coalesced batch size.
+func benchForwardPair(b *testing.B, net *Network, rows int) {
+	rng := tensor.NewRNG(47)
+	x := rng.Randn(rows, inputWidth(net))
+	b.Run("network", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.Forward(x, false)
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		snap := MustSnapshot(net)
+		out := snap.Forward(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap.ForwardInto(out, x)
+		}
+	})
+}
+
+func BenchmarkForwardMLP8x16(b *testing.B) {
+	rng := tensor.NewRNG(48)
+	net, err := DigitsBaseline(64, 10).Build(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchForwardPair(b, net, 16)
+}
+
+func BenchmarkForwardSS8x16(b *testing.B) {
+	rng := tensor.NewRNG(49)
+	spec, err := ObjectsExpert(4, 3, 16, 16, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := spec.Build(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Forward(rng.Randn(2, inputWidth(net)), true)
+	benchForwardPair(b, net, 16)
+}

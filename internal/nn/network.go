@@ -10,8 +10,10 @@ import (
 // everywhere in the reproduction: TeamNet experts, the SG-MoE experts and
 // gate, the monolithic baselines, and TeamNet's internal gate MLP W(z, Θ).
 //
-// A Network is not safe for concurrent use; the cluster runtime gives each
-// serving goroutine its own instance.
+// A Network is not safe for concurrent use (layers cache activations for
+// the backward pass). For serving, compile a trained network into a frozen
+// Snapshot (NewSnapshot), which any number of goroutines can run
+// concurrently; the cluster runtime does exactly that.
 type Network struct {
 	Layers []Layer
 

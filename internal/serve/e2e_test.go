@@ -13,21 +13,17 @@ import (
 )
 
 // TestGatewayOverRealMaster drives the gateway end to end: concurrent
-// single-row predictions through a real cluster.Master and a real pooled
-// worker over loopback TCP, checking every caller's answer is bit-identical
+// single-row predictions through a real cluster.Master and a real
+// snapshot-serving worker over loopback TCP, checking every caller's answer is bit-identical
 // to what a direct per-row Master.Infer returns — coalescing and scattering
 // must be invisible to correctness.
 func TestGatewayOverRealMaster(t *testing.T) {
 	spec := nn.Spec{Kind: "mlp", MLP: &nn.MLPSpec{Label: "e2e", Input: 16, Width: 32, Layers: 2, Classes: 5}}
-	replicas := make([]*nn.Network, 2)
-	for i := range replicas {
-		e, err := spec.Build(tensor.NewRNG(7))
-		if err != nil {
-			t.Fatal(err)
-		}
-		replicas[i] = e
+	expert, err := spec.Build(tensor.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
 	}
-	worker := cluster.NewWorkerPool(replicas, 1)
+	worker := cluster.NewWorker(expert, 1)
 	addr, err := worker.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -45,36 +45,184 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	if x.Shape[1] != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col input cols %d != %d·%d·%d", x.Shape[1], g.InC, g.InH, g.InW))
 	}
-	pl := g.PatchLen()
-	out := New(batch*g.OutH*g.OutW, pl)
-	for b := 0; b < batch; b++ {
-		img := x.Data[b*g.InC*g.InH*g.InW:]
-		for oy := 0; oy < g.OutH; oy++ {
-			for ox := 0; ox < g.OutW; ox++ {
-				row := out.Data[((b*g.OutH+oy)*g.OutW+ox)*pl:]
-				p := 0
-				for c := 0; c < g.InC; c++ {
-					chOff := c * g.InH * g.InW
-					for ky := 0; ky < g.KH; ky++ {
-						iy := oy*g.Stride - g.Pad + ky
-						if iy < 0 || iy >= g.InH {
-							p += g.KW
+	out := New(batch*g.OutH*g.OutW, g.PatchLen())
+	im2colFill(out.Data, x.Data, batch, g)
+	return out
+}
+
+// Im2ColInto is the buffer-reusing form of Im2Col for raw row-major slices:
+// it unrolls x (batch rows of InC·InH·InW values) into dst, which must hold
+// batch·OutH·OutW·PatchLen elements and is fully overwritten. The inference
+// snapshots use it to reuse one scratch patch matrix across forward calls
+// instead of allocating a fresh one per batch; it shares the fill loop with
+// Im2Col, so the two produce identical patch matrices.
+func Im2ColInto(dst, x []float64, batch int, g ConvGeom) {
+	need := batch * g.OutH * g.OutW * g.PatchLen()
+	if len(dst) < need || len(x) < batch*g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2ColInto slices too short for batch %d geom %+v", batch, g))
+	}
+	im2colFill(dst, x, batch, g)
+}
+
+// Im2ColTransInto unrolls x into the TRANSPOSE of the Im2Col patch matrix:
+// dst has PatchLen rows of batch·OutH·OutW columns, so dst[p·cols + pix] ==
+// Im2Col(x)[pix·PatchLen + p]. The row-major-patch form scatters every
+// element at patch-length stride; this orientation instead walks each
+// patch row (fixed channel and kernel tap) across the output pixels, where
+// stride-1 convolutions reduce to contiguous span copies of the input
+// image rows. The inference snapshots feed it to the transposed
+// convolution product Wᵀ × colsᵀ (see the conv step in internal/nn), whose
+// wide output rows suit the register-tiled kernel far better than a
+// few-channel output width. dst is fully overwritten, padding positions
+// included.
+func Im2ColTransInto(dst, x []float64, batch int, g ConvGeom) {
+	cols := batch * g.OutH * g.OutW
+	if len(dst) < cols*g.PatchLen() || len(x) < batch*g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2ColTransInto slices too short for batch %d geom %+v", batch, g))
+	}
+	inC, inH, inW := g.InC, g.InH, g.InW
+	outH, outW := g.OutH, g.OutW
+	kh, kw := g.KH, g.KW
+	stride, pad := g.Stride, g.Pad
+	for c := 0; c < inC; c++ {
+		chOff := c * inH * inW
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				// The in-range span: ox with 0 ≤ ox·Stride − Pad + kx < InW.
+				lo := 0
+				if d := pad - kx; d > 0 {
+					lo = (d + stride - 1) / stride
+				}
+				hi := outW
+				if h := (inW - 1 + pad - kx) / stride; h+1 < hi {
+					hi = h + 1
+				}
+				if hi < lo {
+					hi = lo
+				}
+				prow := dst[((c*kh+ky)*kw+kx)*cols:]
+				for b := 0; b < batch; b++ {
+					imgOff := b*inC*inH*inW + chOff
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*stride - pad + ky
+						drow := prow[(b*outH+oy)*outW : (b*outH+oy)*outW+outW]
+						if iy < 0 || iy >= inH {
+							clear(drow)
 							continue
 						}
-						rowOff := chOff + iy*g.InW
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ox*g.Stride - g.Pad + kx
-							if ix >= 0 && ix < g.InW {
-								row[p] = img[rowOff+ix]
-							}
-							p++
+						clear(drow[:lo])
+						clear(drow[hi:])
+						rowOff := imgOff + iy*inW
+						if stride == 1 {
+							base := rowOff - pad + kx
+							copy(drow[lo:hi], x[base+lo:base+hi])
+							continue
+						}
+						si := rowOff + lo*stride - pad + kx
+						for ox := lo; ox < hi; ox++ {
+							drow[ox] = x[si]
+							si += stride
 						}
 					}
 				}
 			}
 		}
 	}
-	return out
+}
+
+// im2colFill writes every receptive-field tap of dst, storing explicit
+// zeros for out-of-range (padding) positions, so callers need not clear the
+// buffer first.
+//
+// The loop nest keeps the patch column (c, ky, kx) fixed and walks the
+// output columns ox innermost: the padding bounds depend only on kx, so the
+// whole inner loop runs branch-free — a sequential read of one image row
+// scattered into dst at patch-length stride. The per-oy destination slab
+// (OutW rows of one patch matrix) is small enough to stay cached across the
+// full (c, ky, kx) sweep.
+func im2colFill(dst, x []float64, batch int, g ConvGeom) {
+	pl := g.PatchLen()
+	inC, inH, inW := g.InC, g.InH, g.InW
+	outH, outW := g.OutH, g.OutW
+	kh, kw := g.KH, g.KW
+	stride, pad := g.Stride, g.Pad
+
+	// The in-range output-column span for tap column kx — the ox with
+	// 0 ≤ ox·Stride − Pad + kx < InW — depends only on kx, so the two
+	// (division-bearing) bound computations hoist out of every loop.
+	var loBuf, hiBuf [16]int
+	oxLo, oxHi := loBuf[:], hiBuf[:]
+	if kw > len(loBuf) {
+		oxLo = make([]int, kw)
+		oxHi = make([]int, kw)
+	}
+	for kx := 0; kx < kw; kx++ {
+		lo := 0
+		if d := pad - kx; d > 0 {
+			lo = (d + stride - 1) / stride
+		}
+		hi := outW
+		if h := (inW - 1 + pad - kx) / stride; h+1 < hi {
+			hi = h + 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		oxLo[kx], oxHi[kx] = lo, hi
+	}
+
+	for b := 0; b < batch; b++ {
+		img := x[b*inC*inH*inW:]
+		for oy := 0; oy < outH; oy++ {
+			rowBase := (b*outH + oy) * outW * pl
+			iy0 := oy*stride - pad
+			for c := 0; c < inC; c++ {
+				chOff := c * inH * inW
+				for ky := 0; ky < kh; ky++ {
+					iy := iy0 + ky
+					p0 := rowBase + (c*kh+ky)*kw
+					if iy < 0 || iy >= inH {
+						for kx := 0; kx < kw; kx++ {
+							di := p0 + kx
+							for ox := 0; ox < outW; ox++ {
+								dst[di] = 0
+								di += pl
+							}
+						}
+						continue
+					}
+					rowOff := chOff + iy*inW
+					for kx := 0; kx < kw; kx++ {
+						lo, hi := oxLo[kx], oxHi[kx]
+						di := p0 + kx
+						for ox := 0; ox < lo; ox++ {
+							dst[di] = 0
+							di += pl
+						}
+						si := rowOff + lo*stride - pad + kx
+						ox := lo
+						for ; ox+4 <= hi; ox += 4 {
+							dst[di] = img[si]
+							dst[di+pl] = img[si+stride]
+							dst[di+2*pl] = img[si+2*stride]
+							dst[di+3*pl] = img[si+3*stride]
+							di += 4 * pl
+							si += 4 * stride
+						}
+						for ; ox < hi; ox++ {
+							dst[di] = img[si]
+							di += pl
+							si += stride
+						}
+						for ox := hi; ox < outW; ox++ {
+							dst[di] = 0
+							di += pl
+						}
+					}
+				}
+			}
+		}
+	}
 }
 
 // Col2Im scatters a patch-matrix gradient (the transpose operation of

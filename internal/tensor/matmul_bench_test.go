@@ -1,0 +1,25 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func benchSparse(b *testing.B, density float64) {
+	rng := NewRNG(15)
+	a := rng.Randn(16, 256)
+	for i := range a.Data {
+		if rng.Float64() > density {
+			a.Data[i] = 0
+		}
+	}
+	w := rng.Randn(256, 256)
+	dst := New(16, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, w)
+	}
+}
+
+func BenchmarkMatMulSparse50(b *testing.B) { benchSparse(b, 0.5) }
+func BenchmarkMatMulSparse25(b *testing.B) { benchSparse(b, 0.25) }

@@ -271,6 +271,19 @@ func softmaxInto(dst, in []float64) {
 	}
 }
 
+// SoftmaxRowsInto computes the row-wise softmax of src (rows×cols,
+// row-major) into dst without allocating. dst may alias src, turning logits
+// into probabilities in place; it shares the per-row kernel with
+// SoftmaxRows, so the two are bit-identical.
+func SoftmaxRowsInto(dst, src []float64, rows, cols int) {
+	if cols <= 0 || len(dst) < rows*cols || len(src) < rows*cols {
+		panic(fmt.Sprintf("tensor: SoftmaxRowsInto slices too short for %d×%d", rows, cols))
+	}
+	for i := 0; i < rows; i++ {
+		softmaxInto(dst[i*cols:(i+1)*cols], src[i*cols:(i+1)*cols])
+	}
+}
+
 // Softmax computes a numerically-stable softmax of a rank-1 tensor.
 func Softmax(t *Tensor) *Tensor {
 	out := New(t.Shape...)
@@ -297,16 +310,26 @@ func EntropyRows(p *Tensor) *Tensor {
 	p.mustRank(2)
 	r, c := p.Shape[0], p.Shape[1]
 	out := New(r)
-	for i := 0; i < r; i++ {
+	EntropyRowsInto(out.Data, p.Data, r, c)
+	return out
+}
+
+// EntropyRowsInto writes the Shannon entropy of each row of p (rows×cols,
+// row-major) into dst without allocating. It shares the row kernel with
+// EntropyRows.
+func EntropyRowsInto(dst, p []float64, rows, cols int) {
+	if cols <= 0 || len(dst) < rows || len(p) < rows*cols {
+		panic(fmt.Sprintf("tensor: EntropyRowsInto slices too short for %d×%d", rows, cols))
+	}
+	for i := 0; i < rows; i++ {
 		h := 0.0
-		for _, v := range p.Data[i*c : (i+1)*c] {
+		for _, v := range p[i*cols : (i+1)*cols] {
 			if v > 0 {
 				h -= v * math.Log(v)
 			}
 		}
-		out.Data[i] = h
+		dst[i] = h
 	}
-	return out
 }
 
 // Transpose returns the transpose of a rank-2 tensor in a new tensor.

@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Persistent kernel worker pool. Large matmuls are split by output-row
+// range and handed to long-lived goroutines through a buffered channel of
+// by-value task structs, so the steady-state dispatch path performs no heap
+// allocation (the old fork/join spawned fresh closures per call). The pool
+// is shared by every concurrent caller — e.g. many goroutines driving one
+// nn.Snapshot — which caps total kernel parallelism at GOMAXPROCS instead
+// of multiplying it per caller. When the queue is full the caller computes
+// the slice itself rather than blocking, so the pool cannot deadlock and
+// degrades gracefully under oversubscription.
+
+// parallelThreshold is the m·k·n product above which MatMul fans out across
+// the worker pool. Below it the hand-off overhead exceeds the work; with
+// the unrolled kernel the threshold corresponds to roughly fifty
+// microseconds of single-core compute, small enough that a 16-row gateway
+// batch through a width-256 expert layer already fans out.
+const parallelThreshold = 1 << 19
+
+// gemmTask is one row-range of a product, passed by value.
+type gemmTask struct {
+	dst, a, b []float64
+	lo, hi    int
+	k, n      int
+	wg        *sync.WaitGroup
+}
+
+var (
+	gemmOnce    sync.Once
+	gemmWorkers int
+	gemmQueue   chan gemmTask
+
+	// gemmWGs recycles the WaitGroups that join a fan-out, keeping the
+	// dispatch path allocation-free after warm-up.
+	gemmWGs = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+)
+
+// gemmWorkerCount reports the pool size, starting the pool on first use.
+func gemmWorkerCount() int {
+	gemmOnce.Do(startGemmPool)
+	return gemmWorkers
+}
+
+// startGemmPool spins up one worker per CPU. The goroutines live for the
+// process lifetime and cost nothing while blocked on the empty queue.
+func startGemmPool() {
+	gemmWorkers = runtime.GOMAXPROCS(0)
+	if gemmWorkers < 1 {
+		gemmWorkers = 1
+	}
+	gemmQueue = make(chan gemmTask, 4*gemmWorkers)
+	for w := 0; w < gemmWorkers; w++ {
+		go gemmWorker()
+	}
+}
+
+func gemmWorker() {
+	for t := range gemmQueue {
+		matMulRange(t.dst, t.a, t.b, t.lo, t.hi, t.k, t.n)
+		t.wg.Done()
+	}
+}
+
+// gemmParallel splits output rows [0, m) across the pool and joins. The
+// caller always computes the first share itself, and also absorbs any share
+// the queue cannot take without blocking. Row partitioning is identical to
+// the serial kernel's traversal, so results are bit-identical regardless of
+// which goroutine computes which share.
+func gemmParallel(dst, a, b []float64, m, k, n int) {
+	workers := gemmWorkerCount()
+	if workers > m {
+		workers = m
+	}
+	wg := gemmWGs.Get().(*sync.WaitGroup)
+	for w := 1; w < workers; w++ {
+		lo := m * w / workers
+		hi := m * (w + 1) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		select {
+		case gemmQueue <- gemmTask{dst: dst, a: a, b: b, lo: lo, hi: hi, k: k, n: n, wg: wg}:
+		default:
+			// Queue saturated: every worker is busy, so doing the work
+			// here is at least as fast as waiting for a slot.
+			matMulRange(dst, a, b, lo, hi, k, n)
+			wg.Done()
+		}
+	}
+	matMulRange(dst, a, b, 0, m/workers, k, n)
+	wg.Wait()
+	gemmWGs.Put(wg)
+}

@@ -1,0 +1,263 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// AVX needs both the CPU feature flag (CPUID.1:ECX bit 28) and OS support
+// for saving ymm state (OSXSAVE, CPUID.1:ECX bit 27, plus XCR0 bits 1-2).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemmRowChunkAVX(dst, arow, b *float64, kn, stride, groups int)
+//
+// dst[j] += arow[t]*b[t*stride+j] for t in [0,kn), j in [0,4*groups), with
+// the dst chunk held in ymm registers across the whole k extent. Terms
+// accumulate one at a time in increasing-t order per element, with
+// separate VMULPD / VADDPD (never FMA), so every element's result is
+// bit-identical to the portable Go kernel's. A zero arow[t] skips its
+// pass; NaN compares unordered (parity flag set) and is NOT skipped,
+// matching Go's av != 0.
+TEXT ·gemmRowChunkAVX(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ arow+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ kn+24(FP), CX
+	MOVQ stride+32(FP), DX
+	MOVQ groups+40(FP), AX
+	SHLQ $3, DX              // b row stride in bytes
+	VXORPD X1, X1, X1        // +0.0 for the skip compare
+	CMPQ AX, $8
+	JEQ  w32
+	CMPQ AX, $6
+	JEQ  w24
+	CMPQ AX, $4
+	JEQ  w16
+	CMPQ AX, $3
+	JEQ  w12
+	CMPQ AX, $1
+	JEQ  w4
+
+	// 8 columns: accumulators Y4-Y5.
+	VMOVUPD (DI), Y4
+	VMOVUPD 32(DI), Y5
+w8loop:
+	TESTQ CX, CX
+	JE    w8done
+	VUCOMISD (SI), X1
+	JP    w8nz
+	JE    w8next
+w8nz:
+	VBROADCASTSD (SI), Y0
+	VMULPD (BX), Y0, Y2
+	VADDPD Y2, Y4, Y4
+	VMULPD 32(BX), Y0, Y2
+	VADDPD Y2, Y5, Y5
+w8next:
+	ADDQ  $8, SI
+	ADDQ  DX, BX
+	DECQ  CX
+	JMP   w8loop
+w8done:
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	VZEROUPPER
+	RET
+
+	// 4 columns: accumulator Y4.
+w4:
+	VMOVUPD (DI), Y4
+w4loop:
+	TESTQ CX, CX
+	JE    w4done
+	VUCOMISD (SI), X1
+	JP    w4nz
+	JE    w4next
+w4nz:
+	VBROADCASTSD (SI), Y0
+	VMULPD (BX), Y0, Y2
+	VADDPD Y2, Y4, Y4
+w4next:
+	ADDQ  $8, SI
+	ADDQ  DX, BX
+	DECQ  CX
+	JMP   w4loop
+w4done:
+	VMOVUPD Y4, (DI)
+	VZEROUPPER
+	RET
+
+	// 12 columns: accumulators Y4-Y6.
+w12:
+	VMOVUPD (DI), Y4
+	VMOVUPD 32(DI), Y5
+	VMOVUPD 64(DI), Y6
+w12loop:
+	TESTQ CX, CX
+	JE    w12done
+	VUCOMISD (SI), X1
+	JP    w12nz
+	JE    w12next
+w12nz:
+	VBROADCASTSD (SI), Y0
+	VMULPD (BX), Y0, Y2
+	VADDPD Y2, Y4, Y4
+	VMULPD 32(BX), Y0, Y2
+	VADDPD Y2, Y5, Y5
+	VMULPD 64(BX), Y0, Y3
+	VADDPD Y3, Y6, Y6
+w12next:
+	ADDQ  $8, SI
+	ADDQ  DX, BX
+	DECQ  CX
+	JMP   w12loop
+w12done:
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	VMOVUPD Y6, 64(DI)
+	VZEROUPPER
+	RET
+
+	// 24 columns: accumulators Y4-Y9.
+w24:
+	VMOVUPD (DI), Y4
+	VMOVUPD 32(DI), Y5
+	VMOVUPD 64(DI), Y6
+	VMOVUPD 96(DI), Y7
+	VMOVUPD 128(DI), Y8
+	VMOVUPD 160(DI), Y9
+w24loop:
+	TESTQ CX, CX
+	JE    w24done
+	VUCOMISD (SI), X1
+	JP    w24nz
+	JE    w24next
+w24nz:
+	VBROADCASTSD (SI), Y0
+	VMULPD (BX), Y0, Y2
+	VADDPD Y2, Y4, Y4
+	VMULPD 32(BX), Y0, Y2
+	VADDPD Y2, Y5, Y5
+	VMULPD 64(BX), Y0, Y3
+	VADDPD Y3, Y6, Y6
+	VMULPD 96(BX), Y0, Y3
+	VADDPD Y3, Y7, Y7
+	VMULPD 128(BX), Y0, Y2
+	VADDPD Y2, Y8, Y8
+	VMULPD 160(BX), Y0, Y2
+	VADDPD Y2, Y9, Y9
+w24next:
+	ADDQ  $8, SI
+	ADDQ  DX, BX
+	DECQ  CX
+	JMP   w24loop
+w24done:
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	VMOVUPD Y6, 64(DI)
+	VMOVUPD Y7, 96(DI)
+	VMOVUPD Y8, 128(DI)
+	VMOVUPD Y9, 160(DI)
+	VZEROUPPER
+	RET
+
+	// 16 columns: accumulators Y4-Y7.
+w16:
+	VMOVUPD (DI), Y4
+	VMOVUPD 32(DI), Y5
+	VMOVUPD 64(DI), Y6
+	VMOVUPD 96(DI), Y7
+w16loop:
+	TESTQ CX, CX
+	JE    w16done
+	VUCOMISD (SI), X1
+	JP    w16nz
+	JE    w16next
+w16nz:
+	VBROADCASTSD (SI), Y0
+	VMULPD (BX), Y0, Y2
+	VADDPD Y2, Y4, Y4
+	VMULPD 32(BX), Y0, Y2
+	VADDPD Y2, Y5, Y5
+	VMULPD 64(BX), Y0, Y3
+	VADDPD Y3, Y6, Y6
+	VMULPD 96(BX), Y0, Y3
+	VADDPD Y3, Y7, Y7
+w16next:
+	ADDQ  $8, SI
+	ADDQ  DX, BX
+	DECQ  CX
+	JMP   w16loop
+w16done:
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	VMOVUPD Y6, 64(DI)
+	VMOVUPD Y7, 96(DI)
+	VZEROUPPER
+	RET
+
+	// 32 columns: accumulators Y4-Y11.
+w32:
+	VMOVUPD (DI), Y4
+	VMOVUPD 32(DI), Y5
+	VMOVUPD 64(DI), Y6
+	VMOVUPD 96(DI), Y7
+	VMOVUPD 128(DI), Y8
+	VMOVUPD 160(DI), Y9
+	VMOVUPD 192(DI), Y10
+	VMOVUPD 224(DI), Y11
+w32loop:
+	TESTQ CX, CX
+	JE    w32done
+	VUCOMISD (SI), X1
+	JP    w32nz
+	JE    w32next
+w32nz:
+	VBROADCASTSD (SI), Y0
+	VMULPD (BX), Y0, Y2
+	VADDPD Y2, Y4, Y4
+	VMULPD 32(BX), Y0, Y2
+	VADDPD Y2, Y5, Y5
+	VMULPD 64(BX), Y0, Y3
+	VADDPD Y3, Y6, Y6
+	VMULPD 96(BX), Y0, Y3
+	VADDPD Y3, Y7, Y7
+	VMULPD 128(BX), Y0, Y2
+	VADDPD Y2, Y8, Y8
+	VMULPD 160(BX), Y0, Y2
+	VADDPD Y2, Y9, Y9
+	VMULPD 192(BX), Y0, Y3
+	VADDPD Y3, Y10, Y10
+	VMULPD 224(BX), Y0, Y3
+	VADDPD Y3, Y11, Y11
+w32next:
+	ADDQ  $8, SI
+	ADDQ  DX, BX
+	DECQ  CX
+	JMP   w32loop
+w32done:
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	VMOVUPD Y6, 64(DI)
+	VMOVUPD Y7, 96(DI)
+	VMOVUPD Y8, 128(DI)
+	VMOVUPD Y9, 160(DI)
+	VMOVUPD Y10, 192(DI)
+	VMOVUPD Y11, 224(DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 platforms always use the portable Go kernel. Because the AVX
+// kernel avoids fused multiply-add and preserves the generic kernel's
+// per-element accumulation order, results are bit-identical across
+// platforms either way.
+const useSIMD = false
+
+// matMulRangeSIMD is never called when useSIMD is false; this stub keeps
+// the dispatch in matMulRange compiling on every platform.
+func matMulRangeSIMD(dst, a, b []float64, rowLo, rowHi, k, n int) {
+	panic("tensor: matMulRangeSIMD called without SIMD support")
+}

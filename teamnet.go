@@ -89,6 +89,9 @@ func LoadCIFAR10(paths []string, maxN int) (*Dataset, error) {
 type (
 	// Network is a trained or initialized neural network.
 	Network = nn.Network
+	// Snapshot is a frozen, concurrency-safe inference compilation of a
+	// trained Network (see NewSnapshot).
+	Snapshot = nn.Snapshot
 	// Spec declaratively describes an architecture (JSON-serializable).
 	Spec = nn.Spec
 	// MLPSpec describes a multi-layer perceptron.
@@ -124,14 +127,14 @@ type (
 	Master = cluster.Master
 )
 
-// NewWorker wraps an expert for serving; id is its election identity.
+// NewWorker compiles an expert into a frozen inference snapshot and wraps
+// it for serving; any number of requests then run concurrently on the
+// snapshot. id is the worker's election identity.
 func NewWorker(expert *Network, id int) *Worker { return cluster.NewWorker(expert, id) }
 
-// NewWorkerPool serves identical expert replicas (built with
-// Team.CloneExpert) so up to len(replicas) inferences run concurrently.
-func NewWorkerPool(replicas []*Network, id int) *Worker {
-	return cluster.NewWorkerPool(replicas, id)
-}
+// NewSnapshot compiles a trained network into a frozen inference snapshot
+// that any number of goroutines may run concurrently.
+func NewSnapshot(n *Network) (*Snapshot, error) { return nn.NewSnapshot(n) }
 
 // NewMaster returns a master with an optional local expert.
 func NewMaster(local *Network, classes int) *Master { return cluster.NewMaster(local, classes) }
