@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fmt-check docs bench bench-throughput bench-serve bench-soak bench-forward bench-check clean
+.PHONY: build test verify fmt-check docs linkcheck bench bench-throughput bench-serve bench-soak bench-forward bench-cache bench-check clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,11 @@ fmt-check:
 # docs fails if any internal package lacks package-level godoc.
 docs:
 	$(GO) run ./cmd/teamnet-doccheck ./internal
+
+# linkcheck fails on broken relative links or anchors in the documentation
+# set (external http(s) links are not fetched).
+linkcheck:
+	$(GO) run ./cmd/teamnet-linkcheck README.md DESIGN.md docs/*.md
 
 # The short run keeps the full-suite half fast while still executing the
 # transport fuzz seed corpora (wired into Test* functions) and every unit
@@ -60,10 +65,18 @@ bench-serve:
 bench-soak:
 	$(GO) run ./cmd/teamnet-bench -soak -soak-duration 2m -out BENCH_soak.json
 
-# Regression gate: re-run the throughput, serving and forward benchmarks
-# with the committed BENCH_*.json configurations and fail on >20%
-# goodput/QPS/rows-per-sec loss, >20% p99 growth, or any snapshot forward
-# allocation. A shorter re-run window keeps the wire benchmarks CI-sized.
+# Demand-shaping comparison: the same open-loop Zipf-skewed workload
+# through the gateway with the response cache + coalescing off, then on;
+# the artifact records the goodput/p99 win and the cache counters
+# (DESIGN.md §11).
+bench-cache:
+	$(GO) run ./cmd/teamnet-bench -cache -duration 3s -out BENCH_cache.json
+
+# Regression gate: re-run the throughput, serving, demand-shaping and
+# forward benchmarks with the committed BENCH_*.json configurations and
+# fail on >20% goodput/QPS/rows-per-sec loss, >20% p99 growth, any snapshot
+# forward allocation, or a cache speedup collapse. A shorter re-run window
+# keeps the wire benchmarks CI-sized.
 bench-check:
 	$(GO) run ./cmd/teamnet-bench -check -check-duration 2s
 

@@ -4,17 +4,26 @@
 // datasets for accuracy, the edgesim cost model over real FLOP and byte
 // counts for latency and resources).
 //
-// It also hosts the cluster-transport throughput benchmark: -throughput
-// drives a real master and pooled worker over loopback with closed-loop
-// clients, comparing the serial one-in-flight peer protocol against the
-// multiplexed pipeline (see DESIGN.md §8).
+// It also hosts the serving-stack benchmarks (docs/BENCHMARKS.md):
+// -throughput drives a real master and snapshot-serving worker over
+// loopback with closed-loop clients, comparing the serial one-in-flight
+// peer protocol against the multiplexed pipeline (DESIGN.md §8); -serve
+// compares direct inference against the batching gateway under open-loop
+// Poisson load (§9); -forward compares the training Network against the
+// frozen inference Snapshot (§10); -cache compares the gateway with
+// demand shaping off and on over a Zipf-skewed workload (§11); -soak
+// drills the SLO-defense layer through a scripted fault timeline; and
+// -check re-runs the committed BENCH_*.json configurations as a
+// regression gate.
 //
 // Examples:
 //
 //	teamnet-bench -list
 //	teamnet-bench -experiment table1a
 //	teamnet-bench -all -scale full > results.txt
-//	teamnet-bench -throughput -clients 8 -replicas 4 -out BENCH_throughput.json
+//	teamnet-bench -throughput -clients 8 -out BENCH_throughput.json
+//	teamnet-bench -cache -duration 3s -out BENCH_cache.json
+//	teamnet-bench -check -check-duration 2s
 package main
 
 import (
@@ -59,6 +68,13 @@ func run() error {
 		maxBatch   = flag.Int("max-batch", 16, "serve/soak: gateway row budget per coalesced batch")
 		linger     = flag.Duration("linger", 2*time.Millisecond, "serve/soak: gateway flush timer")
 
+		cacheBench = flag.Bool("cache", false, "run the open-loop uncached-vs-cached demand-shaping benchmark on a Zipf-skewed workload")
+		cacheQPS   = flag.Int("cache-qps", 20000, "cache: offered Poisson arrival rate, requests/second")
+		cacheKeys  = flag.Int("cache-keys", 512, "cache: distinct feature vectors in the Zipf key space")
+		cacheZipf  = flag.Float64("cache-zipf", 1.1, "cache: Zipf skew exponent (s > 1; larger = hotter head)")
+		cacheSize  = flag.Int("cache-entries", 4096, "cache: response-cache entries in the cached mode")
+		cacheTTL   = flag.Duration("cache-ttl", 30*time.Second, "cache: response-cache TTL in the cached mode")
+
 		forward = flag.Bool("forward", false, "run the batch forward-pass benchmark: every zoo model on the training engine vs the frozen inference snapshot")
 		fwBatch = flag.Int("forward-batch", 16, "forward: rows per forward pass")
 		fwDur   = flag.Duration("forward-duration", 300*time.Millisecond, "forward: measured window per model per engine")
@@ -74,6 +90,7 @@ func run() error {
 		checkTp  = flag.String("check-throughput", "BENCH_throughput.json", "check: committed throughput artifact (\"\" skips)")
 		checkSv  = flag.String("check-serve", "BENCH_serve.json", "check: committed serve artifact (\"\" skips)")
 		checkFw  = flag.String("check-forward", "BENCH_forward.json", "check: committed forward artifact (\"\" skips)")
+		checkCa  = flag.String("check-cache", "BENCH_cache.json", "check: committed demand-shaping artifact (\"\" skips)")
 		checkDur = flag.Duration("check-duration", 0, "check: re-run window per mode (0 = the committed window)")
 		checkTol = flag.Float64("check-tolerance", bench.CheckTolerance, "check: allowed relative regression")
 	)
@@ -99,6 +116,22 @@ func run() error {
 			NetDelay:  *netDelay,
 			MaxBatch:  *maxBatch,
 			Linger:    *linger,
+			Seed:      *seed,
+		}, *out)
+	}
+
+	if *cacheBench {
+		return runCacheBench(bench.CacheBenchConfig{
+			QPS:       *cacheQPS,
+			Duration:  *duration,
+			Deadline:  *reqDl,
+			NetDelay:  *netDelay,
+			MaxBatch:  *maxBatch,
+			Linger:    *linger,
+			KeySpace:  *cacheKeys,
+			ZipfS:     *cacheZipf,
+			CacheSize: *cacheSize,
+			CacheTTL:  *cacheTTL,
 			Seed:      *seed,
 		}, *out)
 	}
@@ -131,6 +164,7 @@ func run() error {
 			ThroughputPath: *checkTp,
 			ServePath:      *checkSv,
 			ForwardPath:    *checkFw,
+			CachePath:      *checkCa,
 			Duration:       *checkDur,
 			Tolerance:      *checkTol,
 		})
@@ -201,6 +235,17 @@ func runThroughput(cfg bench.ThroughputConfig, out string) error {
 // runServeBench runs the open-loop direct-vs-gateway comparison.
 func runServeBench(cfg bench.ServeBenchConfig, out string) error {
 	report, err := bench.RunServeBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	return writeReport(report, out)
+}
+
+// runCacheBench runs the uncached-vs-cached demand-shaping comparison on
+// the Zipf-skewed workload.
+func runCacheBench(cfg bench.CacheBenchConfig, out string) error {
+	report, err := bench.RunCacheBench(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,183 @@
+// Command teamnet-linkcheck validates the relative links and anchors in a
+// set of markdown files so the documentation set can't silently rot as
+// files move: `teamnet-linkcheck README.md DESIGN.md docs/*.md` exits
+// non-zero listing every inline link whose target file does not exist or
+// whose `#fragment` names no heading in the target. External http(s) and
+// mailto links are reported as skipped, never fetched — the check must
+// work offline and in CI. Links inside fenced code blocks are ignored.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); images ![alt](src)
+// match too via the same group, which is what we want — a missing diagram
+// is as broken as a missing page.
+var linkRe = regexp.MustCompile(`\[[^\]\n]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: teamnet-linkcheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	var broken int
+	checked := 0
+	for _, path := range os.Args[1:] {
+		links, err := extractLinks(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teamnet-linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, l := range links {
+			checked++
+			if msg := checkLink(path, l); msg != "" {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken link %q: %s\n", path, l.line, l.target, msg)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "teamnet-linkcheck: %d broken link(s) in %d checked\n", broken, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("teamnet-linkcheck: %d link(s) ok across %d file(s)\n", checked, len(os.Args)-1)
+}
+
+type link struct {
+	target string
+	line   int
+}
+
+// extractLinks pulls every inline link target out of a markdown file,
+// skipping fenced code blocks (``` ... ```), where bracket-paren text is
+// code, not hypertext.
+func extractLinks(path string) ([]link, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var links []link
+	inFence := false
+	lineNo := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			links = append(links, link{target: m[1], line: lineNo})
+		}
+	}
+	return links, sc.Err()
+}
+
+// checkLink validates one target relative to the file that references it.
+// It returns "" when the link is fine (or external, which is out of scope)
+// and a human-readable reason otherwise.
+func checkLink(fromFile string, l link) string {
+	t := l.target
+	if strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") || strings.HasPrefix(t, "mailto:") {
+		return "" // external; never fetched
+	}
+
+	frag := ""
+	if i := strings.IndexByte(t, '#'); i >= 0 {
+		t, frag = t[:i], t[i+1:]
+	}
+
+	// A bare "#anchor" points into the referencing file itself.
+	target := fromFile
+	if t != "" {
+		target = filepath.Join(filepath.Dir(fromFile), t)
+		info, err := os.Stat(target)
+		if err != nil {
+			return "target does not exist"
+		}
+		if info.IsDir() || frag == "" {
+			return ""
+		}
+	}
+
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(target, ".md") {
+		return "" // anchors are only resolvable in markdown
+	}
+	anchors, err := headingAnchors(target)
+	if err != nil {
+		return fmt.Sprintf("cannot read anchor target: %v", err)
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return fmt.Sprintf("no heading for anchor #%s in %s", frag, target)
+	}
+	return ""
+}
+
+// headingAnchors collects the GitHub-style anchor slugs for every ATX
+// heading in a markdown file: lowercase, markdown code ticks stripped,
+// non-alphanumerics dropped, spaces to hyphens, duplicates suffixed -1,
+// -2, ...
+func headingAnchors(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(text, " ") && text != "" {
+			continue // "#include" style, not a heading
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors, sc.Err()
+}
+
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -10,7 +10,12 @@
 // quarantined or slow experts thin answers instead of failing them: partial
 // ensembles come back with degraded: true and quorum metadata, hedged peer
 // calls cover transient stragglers, and a brownout controller tightens
-// batching when the latency SLO burns (docs/OPERATIONS.md).
+// batching when the latency SLO burns (docs/OPERATIONS.md). Repeated
+// traffic is shaped before it costs inference: -cache-size/-cache-ttl
+// bound a content-addressed response cache (byte-identical inputs answered
+// with cached: true, keyed under the bundle's content hash so a model swap
+// invalidates everything) and -coalesce folds identical in-flight inputs
+// into one ensemble round (singleflight).
 //
 // Example, in front of two teamnet-node workers:
 //
@@ -24,7 +29,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"net"
@@ -66,6 +73,10 @@ func run() error {
 		timeout = flag.Duration("timeout", 2*time.Second, "per-peer round-trip deadline (0 = none); keep this below -deadline so stalled peers fail as peer faults, not caller aborts")
 		retries = flag.Int("retries", 1, "per-request retry budget for transient peer errors")
 
+		cacheSize = flag.Int("cache-size", 4096, "content-addressed response cache entries (0 disables); byte-identical inputs are answered without re-running the ensemble")
+		cacheTTL  = flag.Duration("cache-ttl", 5*time.Second, "max age of a cached answer (0 = until eviction or model swap)")
+		coalesce  = flag.Bool("coalesce", true, "coalesce identical in-flight inputs into one inference (singleflight)")
+
 		degraded    = flag.Bool("degraded", true, "answer with partial ensembles (degraded: true + quorum metadata) when experts are quarantined or slow, instead of failing the batch")
 		slo         = flag.Duration("slo", 0, "latency SLO target for the brownout controller (0 = -deadline); sustained burn tightens linger and queue depth")
 		hedge       = flag.Bool("hedge", true, "hedge slow peer calls: duplicate a Predict on the same mux link once past the live per-peer p95, first reply wins")
@@ -75,15 +86,19 @@ func run() error {
 	)
 	flag.Parse()
 
-	f, err := os.Open(*teamPath)
+	raw, err := os.ReadFile(*teamPath)
 	if err != nil {
 		return fmt.Errorf("open bundle: %w", err)
 	}
-	team, err := core.LoadTeam(f)
-	f.Close()
+	team, err := core.LoadTeam(bytes.NewReader(raw))
 	if err != nil {
 		return fmt.Errorf("load bundle: %w", err)
 	}
+	// The bundle's content hash is the model version: it scopes every
+	// response-cache key, so serving a different bundle (or hot-swapping
+	// one later via Gateway.SetModelVersion) can never replay answers
+	// computed by another model.
+	modelVersion := fmt.Sprintf("%x", sha256.Sum256(raw))[:16]
 
 	var localExpert *nn.Network
 	if *local >= 0 {
@@ -126,9 +141,13 @@ func run() error {
 		DefaultTimeout: *deadline,
 		Degraded:       *degraded,
 		SLOTarget:      sloTarget,
+		CacheSize:      *cacheSize,
+		CacheTTL:       *cacheTTL,
+		Coalesce:       *coalesce,
 	})
 	defer gw.Close()
 	gw.SetTracer(master.Tracer())
+	gw.SetModelVersion(modelVersion)
 
 	var adm *admin.Server
 	if *adminAddr != "" {
@@ -165,8 +184,8 @@ func run() error {
 	srv := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Printf("gateway on http://%s/predict (max batch %d, linger %v, %d peer(s), local expert: %v)\n",
-		ln.Addr(), *maxBatch, *linger, master.Peers(), *local >= 0)
+	fmt.Printf("gateway on http://%s/predict (max batch %d, linger %v, %d peer(s), local expert: %v, cache %d entries/%v, coalesce %v, model %s)\n",
+		ln.Addr(), *maxBatch, *linger, master.Peers(), *local >= 0, *cacheSize, *cacheTTL, *coalesce, modelVersion)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunCacheBenchSmoke runs a miniature uncached-vs-cached comparison:
+// both modes must complete requests, the cached mode must actually hit the
+// cache on the Zipf-skewed key stream, and the report must round-trip
+// through JSON (it is the committed BENCH_cache.json schema). The ≥2x
+// acceptance speedup is asserted by the bench-cache make target at real
+// duration and load, not here — a 300ms CI window at low QPS never pushes
+// the uncached mode past its ceiling.
+func TestRunCacheBenchSmoke(t *testing.T) {
+	report, err := RunCacheBench(CacheBenchConfig{
+		QPS:      1500,
+		Duration: 300 * time.Millisecond,
+		Deadline: 300 * time.Millisecond,
+		NetDelay: -1, // raw loopback keeps the smoke fast
+		KeySpace: 32,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []CacheBenchResult{report.Uncached, report.Cached} {
+		if m.Offered == 0 || m.Completed == 0 {
+			t.Fatalf("%s mode completed nothing: %+v", m.Mode, m)
+		}
+		if m.GoodputQPS <= 0 {
+			t.Fatalf("%s mode has no goodput: %+v", m.Mode, m)
+		}
+	}
+	if report.Uncached.CacheHits != 0 {
+		t.Fatalf("uncached mode recorded cache hits: %+v", report.Uncached)
+	}
+	if report.Cached.CacheHits == 0 {
+		t.Fatalf("cached mode never hit on a 32-key Zipf stream: %+v", report.Cached)
+	}
+	if report.Speedup <= 0 {
+		t.Fatalf("speedup %v not computed", report.Speedup)
+	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CacheBenchReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cached.CacheHits != report.Cached.CacheHits {
+		t.Fatal("report did not round-trip through JSON")
+	}
+}

@@ -8,11 +8,12 @@ import (
 	"time"
 )
 
-// Regression check: `make bench-check` re-runs the transport, serving and
-// forward-pass benchmarks with the configuration recorded in the committed
-// BENCH_throughput.json / BENCH_serve.json / BENCH_forward.json artifacts
-// and fails when the headline numbers regress past tolerance — >20% lower
-// goodput/QPS or >20% higher p99 by default. A short re-run is noisy, so
+// Regression check: `make bench-check` re-runs the transport, serving,
+// demand-shaping and forward-pass benchmarks with the configuration
+// recorded in the committed BENCH_throughput.json / BENCH_serve.json /
+// BENCH_cache.json / BENCH_forward.json artifacts and fails when the
+// headline numbers regress past tolerance — >20% lower goodput/QPS or >20%
+// higher p99 by default. A short re-run is noisy, so
 // each p99 limit also carries a small absolute grace; throughput limits are
 // purely relative. The forward check additionally pins the snapshot's
 // zero-allocation steady state as an exact invariant.
@@ -29,6 +30,7 @@ type CheckConfig struct {
 	ThroughputPath string        // committed BENCH_throughput.json ("" skips)
 	ServePath      string        // committed BENCH_serve.json ("" skips)
 	ForwardPath    string        // committed BENCH_forward.json ("" skips)
+	CachePath      string        // committed BENCH_cache.json ("" skips)
 	Duration       time.Duration // re-run window per mode; 0 = the committed window
 	Tolerance      float64       // allowed relative regression; 0 = CheckTolerance
 }
@@ -78,7 +80,15 @@ func checkFloor(name string, committed, current, tol float64) CheckResult {
 // checkCeiling compares a lower-is-better latency metric: current must stay
 // under committed×(1+tol) plus the absolute grace.
 func checkCeiling(name string, committed, current, tol float64) CheckResult {
-	limit := committed*(1+tol) + checkP99GraceMs
+	return checkCeilingGrace(name, committed, current, tol, checkP99GraceMs)
+}
+
+// checkCeilingGrace is checkCeiling with an explicit absolute grace, for
+// metrics whose committed value sits near zero (a cache-hit p99 is
+// microseconds, so the relative term is meaningless and run-to-run
+// scheduler noise dominates).
+func checkCeilingGrace(name string, committed, current, tol, graceMs float64) CheckResult {
+	limit := committed*(1+tol) + graceMs
 	return CheckResult{Name: name, Committed: committed, Current: current, Limit: limit, Pass: current <= limit}
 }
 
@@ -97,6 +107,22 @@ func EvaluateServeCheck(committed, current *ServeBenchReport, tol float64) []Che
 	return []CheckResult{
 		checkFloor("serve.gateway.goodput_qps", committed.Gateway.GoodputQPS, current.Gateway.GoodputQPS, tol),
 		checkCeiling("serve.gateway.p99_ms", committed.Gateway.P99Ms, current.Gateway.P99Ms, tol),
+	}
+}
+
+// EvaluateCacheCheck gates the demand-shaping benchmark: the cached mode's
+// goodput floor and p99 ceiling, plus a floor on the cached/uncached
+// speedup itself — the layer's reason to exist — so the cache can't quietly
+// degrade to a pass-through while absolute numbers drift within tolerance.
+func EvaluateCacheCheck(committed, current *CacheBenchReport, tol float64) []CheckResult {
+	return []CheckResult{
+		checkFloor("cache.cached.goodput_qps", committed.Cached.GoodputQPS, current.Cached.GoodputQPS, tol),
+		// The cached p99 is dominated by the rare misses that traverse the
+		// full batching path, so short re-runs see multi-ms swings on a
+		// near-zero base; a wider grace keeps the ceiling meaningful
+		// without tripping on scheduler noise.
+		checkCeilingGrace("cache.cached.p99_ms", committed.Cached.P99Ms, current.Cached.P99Ms, tol, 15),
+		checkFloor("cache.speedup", committed.Speedup, current.Speedup, tol),
 	}
 }
 
@@ -154,6 +180,32 @@ func RunBenchCheck(cfg CheckConfig) (*CheckReport, error) {
 			return nil, fmt.Errorf("bench-check: serve re-run: %w", err)
 		}
 		report.Results = append(report.Results, EvaluateServeCheck(&committed, current, tol)...)
+	}
+
+	if cfg.CachePath != "" {
+		var committed CacheBenchReport
+		if err := readJSON(cfg.CachePath, &committed); err != nil {
+			return nil, err
+		}
+		dur := cfg.Duration
+		if dur <= 0 {
+			dur = time.Duration(committed.DurationSec * float64(time.Second))
+		}
+		current, err := RunCacheBench(CacheBenchConfig{
+			QPS:       committed.QPS,
+			Duration:  dur,
+			Deadline:  time.Duration(committed.DeadlineMs * float64(time.Millisecond)),
+			NetDelay:  netDelayFromMs(committed.NetDelayMs),
+			MaxBatch:  committed.MaxBatch,
+			KeySpace:  committed.KeySpace,
+			ZipfS:     committed.ZipfS,
+			CacheSize: committed.CacheSize,
+			CacheTTL:  time.Duration(committed.CacheTTLSec * float64(time.Second)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench-check: cache re-run: %w", err)
+		}
+		report.Results = append(report.Results, EvaluateCacheCheck(&committed, current, tol)...)
 	}
 
 	if cfg.ForwardPath != "" {

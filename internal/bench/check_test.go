@@ -55,3 +55,35 @@ func TestRunBenchCheckNeedsArtifacts(t *testing.T) {
 		t.Fatal("a missing artifact must be an error")
 	}
 }
+
+func TestEvaluateCacheCheck(t *testing.T) {
+	committed := &CacheBenchReport{
+		Cached:  CacheBenchResult{GoodputQPS: 20000, P99Ms: 3},
+		Speedup: 2.3,
+	}
+	// Mild drift: goodput -5%, p99 noise within the widened grace, speedup flat.
+	cur := &CacheBenchReport{
+		Cached:  CacheBenchResult{GoodputQPS: 19000, P99Ms: 9},
+		Speedup: 2.2,
+	}
+	results := EvaluateCacheCheck(committed, cur, 0.2)
+	if len(results) != 3 {
+		t.Fatalf("want 3 compared metrics, got %+v", results)
+	}
+	for _, c := range results {
+		if !c.Pass {
+			t.Fatalf("mild drift flagged as regression: %+v", c)
+		}
+	}
+
+	// A cache degraded to a pass-through: absolute goodput might still sit
+	// inside tolerance of a low baseline, but the speedup floor must trip.
+	flat := &CacheBenchReport{
+		Cached:  CacheBenchResult{GoodputQPS: 20000, P99Ms: 3},
+		Speedup: 1.0,
+	}
+	results = EvaluateCacheCheck(committed, flat, 0.2)
+	if results[2].Pass {
+		t.Fatalf("speedup collapse 2.3 -> 1.0 must fail: %+v", results[2])
+	}
+}

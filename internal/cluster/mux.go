@@ -17,13 +17,14 @@ import (
 // runtime. The paper's protocol is strictly one-in-flight per peer link —
 // fine for a single sensing loop, fatal for multi-user traffic, where every
 // concurrent Master.Infer serializes behind the previous one no matter how
-// many expert replicas the worker pools. A muxClient pipelines instead:
+// much parallel capacity the worker's snapshot has. A muxClient pipelines
+// instead:
 //
 //	waiters ──▶ window (bounded in-flight) ──▶ writer goroutine ──▶ TCP
 //	waiters ◀── pending map (by request id) ◀── reader goroutine ◀── TCP
 //
 // Every request is tagged with a uint32 id (MsgPredictMux), the worker
-// dispatches onto its replica pool concurrently and replies out of order
+// runs them concurrently against its frozen snapshot and replies out of order
 // (MsgResultMux / MsgErrorMux), and the single reader matches replies back
 // to waiters. One TCP connection per peer carries the whole pipeline.
 //

@@ -50,7 +50,11 @@ func TestHalfOpenProbeRacesMuxTraffic(t *testing.T) {
 	waitForPeerState(t, master, 0, PeerOpen, 5*time.Second)
 
 	// Hammer from many goroutines straight through the heal: traffic keeps
-	// arriving while the probe loop redials and flips the breaker.
+	// arriving while the probe loop redials and flips the breaker. A failed
+	// Infer against the open breaker returns without blocking, so back off
+	// a moment before re-sending — on a single-CPU host eight pure spin
+	// loops would otherwise starve the probe and worker goroutines of the
+	// scheduler and the heal could never complete its ping round trip.
 	var stop, successes atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -60,6 +64,8 @@ func TestHalfOpenProbeRacesMuxTraffic(t *testing.T) {
 			for stop.Load() == 0 {
 				if _, _, err := master.Infer(x); err == nil {
 					successes.Add(1)
+				} else {
+					time.Sleep(time.Millisecond)
 				}
 			}
 		}()

@@ -1,0 +1,489 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Demand-shaping tests: the content-addressed response cache and the
+// singleflight coalescer (cache.go). All run under -race via make verify.
+
+// countingBackend wraps echoBackend with a call counter so tests can prove
+// how many inferences a traffic pattern actually cost.
+type countingBackend struct {
+	echo echoBackend
+}
+
+func (b *countingBackend) calls() int {
+	b.echo.mu.Lock()
+	defer b.echo.mu.Unlock()
+	return len(b.echo.batches)
+}
+
+func (b *countingBackend) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, []int, error) {
+	return b.echo.InferContext(ctx, x)
+}
+
+// TestCacheHitSkipsBackend: a byte-identical repeat is answered from the
+// cache — no second inference, Cached set, hit/miss counters moving.
+func TestCacheHitSkipsBackend(t *testing.T) {
+	be := &countingBackend{}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, CacheSize: 16})
+	defer gw.Close()
+
+	first, err := gw.Predict(context.Background(), row(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first request flagged Cached")
+	}
+	second, err := gw.Predict(context.Background(), row(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if second.Winners[0] != first.Winners[0] || second.Probs.Data[1] != first.Probs.Data[1] {
+		t.Fatalf("cached answer differs: %v vs %v", second, first)
+	}
+	if got := be.calls(); got != 1 {
+		t.Fatalf("backend ran %d times, want 1", got)
+	}
+	c := gw.Counters()
+	if c.Counter("serve.cache.hits").Value() != 1 || c.Counter("serve.cache.misses").Value() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1",
+			c.Counter("serve.cache.hits").Value(), c.Counter("serve.cache.misses").Value())
+	}
+	if got := gw.Gauges().Gauge("serve.cache.hit_rate_pct").Value(); got != 50 {
+		t.Fatalf("hit_rate_pct = %d, want 50", got)
+	}
+	// The cached result must not alias the stored copy: mutating it cannot
+	// poison later hits.
+	second.Probs.Data[0] = -999
+	third, err := gw.Predict(context.Background(), row(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Probs.Data[0] == -999 {
+		t.Fatal("cached entry aliased a caller's result")
+	}
+}
+
+// TestCacheTTLExpiry: an entry past its TTL misses (counted under
+// serve.cache.expired) and the backend runs again.
+func TestCacheTTLExpiry(t *testing.T) {
+	be := &countingBackend{}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, CacheSize: 16, CacheTTL: 30 * time.Millisecond})
+	defer gw.Close()
+
+	if _, err := gw.Predict(context.Background(), row(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	res, err := gw.Predict(context.Background(), row(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("expired entry served as a hit")
+	}
+	if got := be.calls(); got != 2 {
+		t.Fatalf("backend ran %d times, want 2 (entry should have expired)", got)
+	}
+	if got := gw.Counters().Counter("serve.cache.expired").Value(); got != 1 {
+		t.Fatalf("serve.cache.expired = %d, want 1", got)
+	}
+}
+
+// TestCacheLRUEviction: the bound holds, the oldest entry dies first, and
+// evictions are counted.
+func TestCacheLRUEviction(t *testing.T) {
+	be := &countingBackend{}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, CacheSize: 2})
+	defer gw.Close()
+
+	for i := 0; i < 3; i++ { // three distinct keys through a 2-entry cache
+		if _, err := gw.Predict(context.Background(), row(float64(i+1), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := gw.Counters().Counter("serve.cache.evictions").Value(); got != 1 {
+		t.Fatalf("serve.cache.evictions = %d, want 1", got)
+	}
+	if got := gw.Gauges().Gauge("serve.cache.size").Value(); got != 2 {
+		t.Fatalf("serve.cache.size = %d, want 2", got)
+	}
+	// Key 1 was the LRU victim: re-requesting it is a miss...
+	if res, err := gw.Predict(context.Background(), row(1, 0)); err != nil || res.Cached {
+		t.Fatalf("evicted key served from cache (err %v, cached %v)", err, res.Cached)
+	}
+	// ...while key 3 is still resident.
+	if res, err := gw.Predict(context.Background(), row(3, 0)); err != nil || !res.Cached {
+		t.Fatalf("resident key missed (err %v, cached %v)", err, res.Cached)
+	}
+}
+
+// TestSetModelVersionInvalidates: bumping the model version purges the
+// cache and re-keys every digest, so a hot-swapped snapshot can never
+// serve the old model's answers.
+func TestSetModelVersionInvalidates(t *testing.T) {
+	be := &countingBackend{}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, CacheSize: 16})
+	defer gw.Close()
+	gw.SetModelVersion("v1")
+
+	if _, err := gw.Predict(context.Background(), row(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	gw.SetModelVersion("v2")
+	res, err := gw.Predict(context.Background(), row(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("answer from the old model version served after the swap")
+	}
+	if got := be.calls(); got != 2 {
+		t.Fatalf("backend ran %d times, want 2", got)
+	}
+	if got := gw.Counters().Counter("serve.cache.invalidations").Value(); got != 1 {
+		t.Fatalf("serve.cache.invalidations = %d, want 1", got)
+	}
+	// Same-version SetModelVersion is a no-op, not a purge.
+	gw.SetModelVersion("v2")
+	if res, err := gw.Predict(context.Background(), row(5, 0)); err != nil || !res.Cached {
+		t.Fatalf("idempotent SetModelVersion purged the cache (err %v, cached %v)", err, res.Cached)
+	}
+}
+
+// TestSingleflightCoalesce: with a leader wedged inside the backend, N
+// identical requests join its flight; one release serves everyone from a
+// single inference.
+func TestSingleflightCoalesce(t *testing.T) {
+	be := &gatedBackend{gate: make(chan struct{}, 8), entered: make(chan struct{}, 8)}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, Coalesce: true})
+	defer gw.Close()
+
+	x := row(9, 2)
+	key := gw.digestFor(x)
+	type out struct {
+		res Result
+		err error
+	}
+	results := make(chan out, 8)
+	go func() {
+		res, err := gw.Predict(context.Background(), x)
+		results <- out{res, err}
+	}()
+	<-be.entered // the leader is inside the backend
+
+	const waiters = 5
+	for i := 0; i < waiters; i++ {
+		go func() {
+			res, err := gw.Predict(context.Background(), row(9, 2))
+			results <- out{res, err}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.flightWaiters(key) < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters joined the flight", gw.flightWaiters(key), waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	be.gate <- struct{}{} // release exactly one inference
+
+	for i := 0; i < waiters+1; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.res.Winners[0] != 2 {
+			t.Fatalf("winner %d, want 2", r.res.Winners[0])
+		}
+		if r.res.Cached {
+			t.Fatal("coalesced share flagged Cached")
+		}
+	}
+	be.echo.mu.Lock()
+	calls := len(be.echo.batches)
+	be.echo.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("%d identical requests cost %d inferences, want 1", waiters+1, calls)
+	}
+	if got := gw.Counters().Counter("serve.cache.coalesced").Value(); got != waiters {
+		t.Fatalf("serve.cache.coalesced = %d, want %d", got, waiters)
+	}
+}
+
+// TestWaiterDeadlineExpires: a coalesced waiter whose own deadline fires
+// while the leader is still in flight gets its context error (the HTTP 504
+// path), never a late share — and the leader is unaffected.
+func TestWaiterDeadlineExpires(t *testing.T) {
+	be := &gatedBackend{gate: make(chan struct{}, 2), entered: make(chan struct{}, 2)}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, Coalesce: true})
+	defer gw.Close()
+
+	x := row(3, 1)
+	key := gw.digestFor(x)
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := gw.Predict(context.Background(), x)
+		leaderDone <- err
+	}()
+	<-be.entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := gw.Predict(ctx, row(3, 1))
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.flightWaiters(key) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The waiter's deadline fires while the leader is still wedged.
+	if err := <-waiterDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter got %v, want context.DeadlineExceeded", err)
+	}
+	if code := statusFor(context.DeadlineExceeded); code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline maps to %d, want 504", code)
+	}
+	be.gate <- struct{}{}
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed after waiter expiry: %v", err)
+	}
+	if got := gw.Counters().Counter("serve.cache.coalesced").Value(); got != 0 {
+		t.Fatalf("expired waiter counted as coalesced (%d)", got)
+	}
+}
+
+// TestWaiterRetriesAfterLeaderDeadline: the leader dies of its *own*
+// deadline; a longer-lived waiter must not inherit that verdict — it
+// retries as the new leader and succeeds.
+func TestWaiterRetriesAfterLeaderDeadline(t *testing.T) {
+	be := &gatedBackend{gate: make(chan struct{}, 2), entered: make(chan struct{}, 2)}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, Coalesce: true})
+	defer gw.Close()
+
+	x := row(4, 1)
+	key := gw.digestFor(x)
+	leaderCtx, cancelLeader := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancelLeader()
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := gw.Predict(leaderCtx, x)
+		leaderDone <- err
+	}()
+	<-be.entered
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := gw.Predict(context.Background(), row(4, 1))
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.flightWaiters(key) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := <-leaderDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("leader got %v, want context.DeadlineExceeded", err)
+	}
+	// The retrying waiter becomes its own leader and enters the backend;
+	// release it.
+	<-be.entered
+	be.gate <- struct{}{}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter inherited the leader's deadline: %v", err)
+	}
+}
+
+// degradedFlipBackend serves one degraded answer, then full answers, so a
+// test can prove degraded results never enter the cache.
+type degradedFlipBackend struct {
+	echo  echoBackend
+	mu    sync.Mutex
+	calls int
+}
+
+func (b *degradedFlipBackend) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, []int, error) {
+	return b.echo.InferContext(ctx, x)
+}
+
+func (b *degradedFlipBackend) InferQuorumContext(ctx context.Context, x *tensor.Tensor, soft time.Duration) (*tensor.Tensor, []int, int, int, error) {
+	b.mu.Lock()
+	b.calls++
+	degraded := b.calls == 1
+	b.mu.Unlock()
+	probs, winners, err := b.echo.InferContext(ctx, x)
+	if degraded {
+		return probs, winners, 2, 3, err
+	}
+	return probs, winners, 3, 3, err
+}
+
+// TestDegradedNeverCached: a partial-ensemble answer reflects a transient
+// fleet state — it must not be replayed from the cache once the fleet
+// heals. The degraded answer is served (and may be shared with coalesced
+// waiters), but the next identical request runs inference again; the full
+// answer it gets IS cached.
+func TestDegradedNeverCached(t *testing.T) {
+	be := &degradedFlipBackend{}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, CacheSize: 16, Degraded: true})
+	defer gw.Close()
+
+	first, err := gw.Predict(context.Background(), row(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Degraded {
+		t.Fatal("scripted degraded answer not flagged")
+	}
+	second, err := gw.Predict(context.Background(), row(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Fatal("degraded answer was served from the cache")
+	}
+	if second.Degraded {
+		t.Fatal("backend healed but the answer is still degraded")
+	}
+	third, err := gw.Predict(context.Background(), row(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached || third.Degraded {
+		t.Fatalf("healed full answer not cached (cached %v, degraded %v)", third.Cached, third.Degraded)
+	}
+}
+
+// TestDigestCanonicalization: ±0.0 share a key (they compare equal and
+// infer identically); any payload change — value, shape, or model version —
+// separates keys.
+func TestDigestCanonicalization(t *testing.T) {
+	negZero := row(0, 0)
+	negZero.RowSlice(0)[0] = -0.0 // math.Copysign(0, -1) spelled explicitly below
+	posZero := row(0, 0)
+	if digest("v", negZero) != digest("v", posZero) {
+		t.Fatal("-0.0 and +0.0 hash differently")
+	}
+	if digest("v", row(1, 0)) == digest("v", row(2, 0)) {
+		t.Fatal("different payloads share a digest")
+	}
+	if digest("v1", row(1, 0)) == digest("v2", row(1, 0)) {
+		t.Fatal("different model versions share a digest")
+	}
+	wide := tensor.New(1, 4)
+	tall := tensor.New(4, 1)
+	if digest("v", wide) == digest("v", tall) {
+		t.Fatal("1×4 and 4×1 zero tensors share a digest")
+	}
+}
+
+// TestPredictHTTPCachedField: the client contract — a repeated POST carries
+// "cached": true; the first does not carry the field at all.
+func TestPredictHTTPCachedField(t *testing.T) {
+	be := &countingBackend{}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, CacheSize: 16, Coalesce: true})
+	defer gw.Close()
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+
+	body := `{"x": [[0.5, 1, 0]]}`
+	post := func() (int, map[string]any) {
+		resp, err := http.Post(srv.URL+"/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var decoded map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, decoded
+	}
+	code, first := post()
+	if code != http.StatusOK {
+		t.Fatalf("first POST: status %d", code)
+	}
+	if _, present := first["cached"]; present {
+		t.Fatal(`fresh answer carries "cached"`)
+	}
+	code, second := post()
+	if code != http.StatusOK {
+		t.Fatalf("second POST: status %d", code)
+	}
+	if cached, _ := second["cached"].(bool); !cached {
+		t.Fatalf(`repeat answer lacks "cached": true (%v)`, second)
+	}
+	if be.calls() != 1 {
+		t.Fatalf("backend ran %d times for identical posts, want 1", be.calls())
+	}
+}
+
+// TestConcurrentShapedTraffic hammers the shaped path from many goroutines
+// over a small key space — the -race workout for the cache + flight table.
+func TestConcurrentShapedTraffic(t *testing.T) {
+	be := &countingBackend{}
+	gw := New(be, Config{MaxBatch: 8, MaxLinger: time.Millisecond, Workers: 3, CacheSize: 8, CacheTTL: 20 * time.Millisecond, Coalesce: true})
+	defer gw.Close()
+
+	const goroutines = 32
+	const perG = 25
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				mark := float64(j%6 + 1) // 6 hot keys
+				res, err := gw.Predict(context.Background(), row(mark, int(mark)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if res.Winners[0] != int(mark) {
+					errs[i] = errors.New("wrong row scattered back")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := gw.Counters()
+	served := c.Counter("serve.cache.hits").Value() + c.Counter("serve.cache.coalesced").Value()
+	if served == 0 {
+		t.Fatal("hot-key hammer produced zero cache hits and zero coalesced shares")
+	}
+	if got := be.calls(); got >= goroutines*perG {
+		t.Fatalf("backend ran %d times for %d requests — shaping did nothing", got, goroutines*perG)
+	}
+}

@@ -45,6 +45,12 @@ type PredictResponse struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Quorum reports how many nodes contributed when Degraded is set.
 	Quorum *Quorum `json:"quorum,omitempty"`
+	// Cached marks an answer served from the gateway's content-addressed
+	// response cache: a byte-identical input was answered by this model
+	// version within the cache TTL, so no inference ran. Absent (false) on
+	// freshly computed answers — including coalesced ones, which share a
+	// live inference. Degraded answers are never cached.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Quorum is the participation metadata attached to degraded answers.
@@ -162,6 +168,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Degraded = true
 		resp.Quorum = &Quorum{Live: res.Live, Nodes: res.Nodes}
 	}
+	resp.Cached = res.Cached
 	for i := range resp.Probs {
 		resp.Probs[i] = res.Probs.RowSlice(i)
 	}

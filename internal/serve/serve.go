@@ -19,7 +19,12 @@
 //     to their callers;
 //   - deadline plumbing end to end: each request's context bounds its queue
 //     wait and its share of the dispatched batch, and an expired request
-//     stops burning peer round trips (see Master.InferContext).
+//     stops burning peer round trips (see Master.InferContext);
+//   - demand shaping (cache.go): a content-addressed response cache keyed
+//     by the canonicalized input tensor plus the model version, and
+//     singleflight coalescing so identical in-flight inputs cost one queued
+//     inference — repeated edge traffic (hot queries, duplicate sensor
+//     frames) stops paying retail for the ensemble.
 //
 // Everything is observable: gauges ("serve.queue_depth",
 // "serve.inflight_batches"), latency histograms ("serve.queue_wait",
@@ -100,6 +105,20 @@ type Config struct {
 	// BrownoutBurn is the burn-rate threshold that tightens the gateway.
 	// Default 0.1 (10% of recent requests missing the SLO).
 	BrownoutBurn float64
+	// CacheSize bounds the content-addressed response cache (entries);
+	// 0 disables caching. Full answers are stored under a digest of the
+	// canonicalized input tensor plus the model version (SetModelVersion)
+	// and served without a broadcast on repeat; degraded answers are never
+	// cached. See cache.go.
+	CacheSize int
+	// CacheTTL bounds a cached answer's age. Zero means entries live until
+	// LRU eviction or a SetModelVersion invalidation.
+	CacheTTL time.Duration
+	// Coalesce enables duplicate-request coalescing (singleflight):
+	// identical in-flight input tensors share one queued inference, with
+	// the result scattered to every waiter. Off by default; teamnet-serve
+	// turns it on.
+	Coalesce bool
 }
 
 func (c Config) normalized() Config {
@@ -117,6 +136,9 @@ func (c Config) normalized() Config {
 	}
 	if c.BrownoutBurn <= 0 || c.BrownoutBurn > 1 {
 		c.BrownoutBurn = 0.1
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
 	}
 	return c
 }
@@ -158,6 +180,10 @@ type Result struct {
 	Degraded bool
 	Live     int // nodes that contributed to this answer
 	Nodes    int // full ensemble size
+
+	// Cached marks an answer served from the response cache: no inference
+	// ran for this request. Always false when caching is off.
+	Cached bool
 }
 
 type response struct {
@@ -208,6 +234,17 @@ type Gateway struct {
 	drainT    time.Time
 	drainN    int64
 	drainRate float64 // requests/second leaving the queue, smoothed
+
+	// Demand shaping (cache.go): the content-addressed response cache,
+	// the singleflight table, and the model-version label that scopes
+	// every cache key.
+	cache        *responseCache // nil when caching is off
+	cacheHits    atomic.Int64
+	cacheLookups atomic.Int64
+	flightMu     sync.Mutex
+	flights      map[cacheKey]*flight
+	modelMu      sync.RWMutex
+	modelVersion string
 }
 
 // New starts a gateway over backend: the batcher goroutine plus
@@ -223,6 +260,10 @@ func New(backend Backend, cfg Config) *Gateway {
 		valueHists: metrics.NewValueHistogramSet(),
 		dispatch:   make(chan []*request),
 		quit:       make(chan struct{}),
+		flights:    make(map[cacheKey]*flight),
+	}
+	if cfg.CacheSize > 0 {
+		g.cache = newResponseCache(cfg.CacheSize, cfg.CacheTTL)
 	}
 	g.lanes[0] = make(chan *request, cfg.QueueSize)
 	g.lanes[1] = make(chan *request, cfg.QueueSize)
@@ -251,11 +292,13 @@ func laneIdx(p Priority) int {
 
 // Counters exposes the gateway's event counters ("serve.requests",
 // "serve.shed.queue_full", "serve.shed.expired", "serve.timeouts",
-// "serve.batches", "serve.batch_errors").
+// "serve.batches", "serve.batch_errors", and the demand-shaping series
+// "serve.cache.{hits,misses,expired,evictions,coalesced,invalidations}").
 func (g *Gateway) Counters() *metrics.CounterSet { return g.counters }
 
 // Gauges exposes the gateway's level metrics ("serve.queue_depth",
-// "serve.inflight_batches").
+// "serve.inflight_batches", "serve.cache.size",
+// "serve.cache.hit_rate_pct").
 func (g *Gateway) Gauges() *metrics.GaugeSet { return g.gauges }
 
 // Histograms exposes the gateway's latency histograms ("serve.queue_wait",
@@ -309,6 +352,16 @@ func (g *Gateway) PredictOpts(ctx context.Context, x *tensor.Tensor, opts Option
 		}
 	}
 	g.counters.Counter("serve.requests").Inc()
+	if g.shaped() {
+		return g.predictShaped(ctx, x, opts)
+	}
+	return g.predictQueued(ctx, x, opts)
+}
+
+// predictQueued is the admission-queue path every non-cached, non-coalesced
+// request (and every singleflight leader) takes: enqueue on the priority
+// lane, wait for the scattered share or the deadline.
+func (g *Gateway) predictQueued(ctx context.Context, x *tensor.Tensor, opts Options) (Result, error) {
 	req := &request{x: x, ctx: ctx, enq: time.Now(), resc: make(chan response, 1)}
 
 	// Admission: reject-on-full, never block the caller on a queue. The
