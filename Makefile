@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fmt-check docs linkcheck bench bench-throughput bench-serve bench-soak bench-forward bench-cache bench-check clean
+.PHONY: build test verify fmt-check docs linkcheck bench bench-throughput bench-serve bench-soak bench-forward bench-cache bench-fleet bench-check clean
 
 build:
 	$(GO) build ./...
@@ -72,11 +72,22 @@ bench-soak:
 bench-cache:
 	$(GO) run ./cmd/teamnet-bench -cache -duration 3s -out BENCH_cache.json
 
-# Regression gate: re-run the throughput, serving, demand-shaping and
+# Fleet scaling + hot-swap: gateway/master pairs at 1, 2 and 4 under a fixed
+# per-pair Poisson rate, masters discovered via announce gossip, one worker
+# link stalled and healed mid-run, and a scripted wire hot-swap at 3t/4
+# (weights pushed to workers, then masters, gateway cutover last). Exits
+# non-zero under 3x aggregate goodput scaling, on any hard-failed request,
+# or on any stale-version cache entry after cutover (DESIGN.md §12). Run on
+# the reference host before committing the artifact.
+bench-fleet:
+	$(GO) run ./cmd/teamnet-bench -fleet -out BENCH_fleet.json
+
+# Regression gate: re-run the throughput, serving, demand-shaping, fleet and
 # forward benchmarks with the committed BENCH_*.json configurations and
 # fail on >20% goodput/QPS/rows-per-sec loss, >20% p99 growth, any snapshot
-# forward allocation, or a cache speedup collapse. A shorter re-run window
-# keeps the wire benchmarks CI-sized.
+# forward allocation, a cache speedup collapse, a fleet scaling collapse, or
+# any hot-swap failure/stale entry. A shorter re-run window keeps the wire
+# benchmarks CI-sized.
 bench-check:
 	$(GO) run ./cmd/teamnet-bench -check -check-duration 2s
 

@@ -12,9 +12,10 @@
 // Poisson load (§9); -forward compares the training Network against the
 // frozen inference Snapshot (§10); -cache compares the gateway with
 // demand shaping off and on over a Zipf-skewed workload (§11); -soak
-// drills the SLO-defense layer through a scripted fault timeline; and
-// -check re-runs the committed BENCH_*.json configurations as a
-// regression gate.
+// drills the SLO-defense layer through a scripted fault timeline; -fleet
+// scales gateway/master pairs across the serving fabric and hot-swaps the
+// model mid-run (§12); and -check re-runs the committed BENCH_*.json
+// configurations as a regression gate.
 //
 // Examples:
 //
@@ -32,9 +33,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"github.com/teamnet/teamnet/internal/bench"
+	"github.com/teamnet/teamnet/internal/cli"
 )
 
 func main() {
@@ -86,11 +89,18 @@ func run() error {
 		soakDeadline = flag.Duration("soak-deadline", 250*time.Millisecond, "soak: per-request deadline (and gateway SLO target)")
 		soakWorkers  = flag.Int("soak-workers", 3, "soak: worker nodes, each behind its own chaos proxy")
 
+		fleet         = flag.Bool("fleet", false, "run the fleet bench: gateway/master pairs scaled 1→2→4 under per-pair Poisson load with a chaos stall and a mid-run wire hot-swap")
+		fleetQPS      = flag.Int("fleet-qps", 400, "fleet: offered Poisson arrival rate per gateway/master pair, requests/second")
+		fleetDuration = flag.Duration("fleet-duration", 8*time.Second, "fleet: measured window per scale")
+		fleetScales   = flag.String("fleet-scales", "1,2,4", "fleet: comma-separated pair counts, ascending")
+		fleetWorkers  = flag.Int("fleet-workers", 2, "fleet: workers per master, each behind its own chaos proxy")
+
 		check    = flag.Bool("check", false, "re-run benchmarks with committed configs and fail on >tolerance regression")
 		checkTp  = flag.String("check-throughput", "BENCH_throughput.json", "check: committed throughput artifact (\"\" skips)")
 		checkSv  = flag.String("check-serve", "BENCH_serve.json", "check: committed serve artifact (\"\" skips)")
 		checkFw  = flag.String("check-forward", "BENCH_forward.json", "check: committed forward artifact (\"\" skips)")
 		checkCa  = flag.String("check-cache", "BENCH_cache.json", "check: committed demand-shaping artifact (\"\" skips)")
+		checkFl  = flag.String("check-fleet", "BENCH_fleet.json", "check: committed fleet artifact (\"\" skips)")
 		checkDur = flag.Duration("check-duration", 0, "check: re-run window per mode (0 = the committed window)")
 		checkTol = flag.Float64("check-tolerance", bench.CheckTolerance, "check: allowed relative regression")
 	)
@@ -159,12 +169,35 @@ func run() error {
 		}, *out)
 	}
 
+	if *fleet {
+		var scales []int
+		for _, s := range cli.SplitList(*fleetScales) {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -fleet-scales entry %q", s)
+			}
+			scales = append(scales, n)
+		}
+		return runFleet(bench.FleetConfig{
+			PairQPS:        *fleetQPS,
+			Duration:       *fleetDuration,
+			Deadline:       *reqDl,
+			Scales:         scales,
+			WorkersPerPair: *fleetWorkers,
+			NetDelay:       *netDelay,
+			MaxBatch:       *maxBatch,
+			Linger:         *linger,
+			Seed:           *seed,
+		}, *out)
+	}
+
 	if *check {
 		return runBenchCheck(bench.CheckConfig{
 			ThroughputPath: *checkTp,
 			ServePath:      *checkSv,
 			ForwardPath:    *checkFw,
 			CachePath:      *checkCa,
+			FleetPath:      *checkFl,
 			Duration:       *checkDur,
 			Tolerance:      *checkTol,
 		})
@@ -280,6 +313,36 @@ func runSoak(cfg bench.SoakConfig, out string) error {
 	}
 	if !s.Recovered {
 		return fmt.Errorf("soak: p99 never recovered after heal (baseline %.2fms, final %.2fms)", s.BaselineP99Ms, s.FinalP99Ms)
+	}
+	return nil
+}
+
+// runFleet runs the scaling + hot-swap fleet bench, records the artifact,
+// and fails the process when the fabric misses its acceptance bar: under 3x
+// aggregate goodput at the largest scale, any hard-failed request across
+// the hot-swap, or any stale-version cache entry left behind.
+func runFleet(cfg bench.FleetConfig, out string) error {
+	report, err := bench.RunFleetBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	if err := writeReport(report, out); err != nil {
+		return err
+	}
+	if len(report.Scales) > 1 && report.ScalingX < 3 {
+		return fmt.Errorf("fleet: %.2fx aggregate goodput scaling, want >= 3x", report.ScalingX)
+	}
+	for _, s := range report.Scales {
+		if s.Swap.FailedRequests > 0 {
+			return fmt.Errorf("fleet: %d hard-failed requests at %d pairs across the hot-swap", s.Swap.FailedRequests, s.Pairs)
+		}
+		if s.Swap.StaleEntries > 0 {
+			return fmt.Errorf("fleet: %d stale-version cache entries at %d pairs after cutover", s.Swap.StaleEntries, s.Pairs)
+		}
+		if s.Swap.Version == "" {
+			return fmt.Errorf("fleet: version disagreement after the hot-swap at %d pairs", s.Pairs)
+		}
 	}
 	return nil
 }

@@ -19,7 +19,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,7 @@ import (
 
 	"github.com/teamnet/teamnet/internal/admin"
 	"github.com/teamnet/teamnet/internal/chaos"
+	"github.com/teamnet/teamnet/internal/cli"
 	"github.com/teamnet/teamnet/internal/cluster"
 	"github.com/teamnet/teamnet/internal/core"
 	"github.com/teamnet/teamnet/internal/trace"
@@ -50,6 +53,9 @@ func run() error {
 		chaosSpec = flag.String("chaos", "", "serve through a fault-injection proxy: comma-separated mode:arg specs (latency:50ms, stall:0.3, reset:0.3, truncate:0.1, corrupt:0.05, dropnth:3)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos fault die")
 		adminAddr = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address, e.g. :8081")
+
+		bootstrap     = flag.String("bootstrap", "", "comma-separated fabric addresses to announce this worker to (membership gossip)")
+		announceEvery = flag.Duration("announce-every", 5*time.Second, "membership re-announce period when -bootstrap is set")
 	)
 	flag.Parse()
 	plan, err := chaos.ParsePlan(*chaosSpec)
@@ -57,12 +63,11 @@ func run() error {
 		return err
 	}
 
-	f, err := os.Open(*teamPath)
+	raw, err := os.ReadFile(*teamPath)
 	if err != nil {
 		return fmt.Errorf("open bundle: %w", err)
 	}
-	team, err := core.LoadTeam(f)
-	f.Close()
+	team, err := core.LoadTeam(bytes.NewReader(raw))
 	if err != nil {
 		return fmt.Errorf("load bundle: %w", err)
 	}
@@ -72,8 +77,10 @@ func run() error {
 
 	// The worker compiles the expert into a frozen inference snapshot, so
 	// every connection's requests run concurrently on one copy of the
-	// weights — no replica cloning needed.
+	// weights — no replica cloning needed. The bundle's content hash labels
+	// the served model until a versioned push hot-swaps it (DESIGN.md §12).
 	worker := cluster.NewWorker(team.Experts[*expert], *id)
+	worker.SetModelVersion(fmt.Sprintf("%x", sha256.Sum256(raw))[:16])
 
 	var proxy *chaos.Proxy
 	addr := *listen
@@ -98,8 +105,33 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("serving expert %d/%d (%s) on %s, election id %d\n",
-		*expert, team.K(), team.Spec.Label(), addr, *id)
+	fmt.Printf("serving expert %d/%d (%s) on %s, election id %d, model %s\n",
+		*expert, team.K(), team.Spec.Label(), addr, *id, worker.ModelVersion())
+
+	// Membership: re-announce to the bootstrap set so masters and gateways
+	// see this worker join (and age it out of their rosters when it stops).
+	var announceStop chan struct{}
+	if *bootstrap != "" {
+		addrs := cli.SplitList(*bootstrap)
+		announceStop = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*announceEvery)
+			defer tick.Stop()
+			for {
+				for _, a := range addrs {
+					if _, err := cluster.Announce(a, worker.Member(), worker.Roster(), *announceEvery); err != nil {
+						fmt.Printf("warning: announce %s: %v\n", a, err)
+					}
+				}
+				select {
+				case <-tick.C:
+				case <-announceStop:
+					return
+				}
+			}
+		}()
+		fmt.Printf("announcing to %v every %v\n", addrs, *announceEvery)
+	}
 
 	var adm *admin.Server
 	if *adminAddr != "" {
@@ -132,6 +164,9 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if announceStop != nil {
+		close(announceStop)
+	}
 	if adm != nil {
 		// Graceful: a scrape racing the shutdown still gets its response.
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)

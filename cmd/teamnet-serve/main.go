@@ -77,6 +77,13 @@ func run() error {
 		cacheTTL  = flag.Duration("cache-ttl", 5*time.Second, "max age of a cached answer (0 = until eviction or model swap)")
 		coalesce  = flag.Bool("coalesce", true, "coalesce identical in-flight inputs into one inference (singleflight)")
 
+		fabricListen  = flag.String("fabric-listen", "", "serve this node's master over the fabric protocol on this address; other gateways route to it, and versioned model pushes hot-swap it without restart")
+		fabricID      = flag.Int("fabric-id", 0, "fabric membership/election identity (unique per node)")
+		mastersFlag   = flag.String("masters", "", "comma-separated remote master fabric addresses to route across (least-loaded), alongside the local master")
+		bootstrap     = flag.String("bootstrap", "", "comma-separated fabric addresses to announce to; gossip-discovered masters join (and expired ones leave) the routing set")
+		announceEvery = flag.Duration("announce-every", 5*time.Second, "membership re-announce and expiry period when -bootstrap is set")
+		swapWatch     = flag.Duration("swap-watch", 0, "poll the -team bundle at this period and hot-swap the local expert in place when the file changes (0 = off)")
+
 		degraded    = flag.Bool("degraded", true, "answer with partial ensembles (degraded: true + quorum metadata) when experts are quarantined or slow, instead of failing the batch")
 		slo         = flag.Duration("slo", 0, "latency SLO target for the brownout controller (0 = -deadline); sustained burn tightens linger and queue depth")
 		hedge       = flag.Bool("hedge", true, "hedge slow peer calls: duplicate a Predict on the same mux link once past the live per-peer p95, first reply wins")
@@ -129,11 +136,40 @@ func run() error {
 		fmt.Printf("warning: %v\n", err)
 	}
 
+	// Fleet routing: with -masters or -bootstrap, the gateway fans out across
+	// a Router of RemoteMaster links (least-loaded by inflight×rtt) instead
+	// of driving the in-process master alone. The local master stays a
+	// routing target when it has anything to serve.
+	staticMasters := cli.SplitList(*mastersFlag)
+	bootstraps := cli.SplitList(*bootstrap)
+	var router *serve.Router
+	var backend serve.Backend = master
+	remotes := make(map[string]*cluster.RemoteMaster)
+	var staticRemotes []*cluster.RemoteMaster
+	defer func() {
+		for _, rm := range remotes {
+			rm.Close()
+		}
+	}()
+	if len(staticMasters) > 0 || len(bootstraps) > 0 {
+		router = serve.NewRouter(0)
+		if *local >= 0 || *peers != "" {
+			router.Upsert("local", master)
+		}
+		for _, addr := range staticMasters {
+			rm := cluster.NewRemoteMaster(addr, *timeout)
+			remotes[addr] = rm
+			staticRemotes = append(staticRemotes, rm)
+			router.Upsert(addr, rm)
+		}
+		backend = router
+	}
+
 	sloTarget := *slo
 	if sloTarget <= 0 {
 		sloTarget = *deadline
 	}
-	gw := serve.New(master, serve.Config{
+	gw := serve.New(backend, serve.Config{
 		MaxBatch:       *maxBatch,
 		MaxLinger:      *linger,
 		QueueSize:      *queue,
@@ -148,6 +184,133 @@ func run() error {
 	defer gw.Close()
 	gw.SetTracer(master.Tracer())
 	gw.SetModelVersion(modelVersion)
+
+	// Fabric endpoint: serve this master to other gateways, answer
+	// membership announces, and accept versioned model pushes. The onSwap
+	// hook is the cutover: the push is applied to the master first, then the
+	// co-located gateway re-labels and purges its response cache — so a
+	// cache key can never pair an old version with new weights.
+	var fabricSrv *cluster.MasterServer
+	if *fabricListen != "" {
+		fabricSrv = cluster.NewMasterServer(master, *fabricID)
+		fabricSrv.SetModelVersion(modelVersion)
+		fabricSrv.SetOnSwap(func(v string) { gw.SetModelVersion(v) })
+		bound, err := fabricSrv.Listen(*fabricListen)
+		if err != nil {
+			return err
+		}
+		defer fabricSrv.Close()
+		fmt.Printf("fabric endpoint on %s (predict/announce/model-push, member id %d)\n", bound, *fabricID)
+	}
+
+	// Anti-entropy membership: announce to the bootstrap set every period,
+	// age out members that stop announcing, and keep the routing set in
+	// lockstep with the roster's masters. Static -masters targets are
+	// pinned; discovered ones come and go with the gossip.
+	if len(bootstraps) > 0 {
+		roster := cluster.NewRoster()
+		selfMember := func() cluster.Member {
+			if fabricSrv != nil {
+				return fabricSrv.Member()
+			}
+			return cluster.Member{Role: cluster.RoleGateway, ID: *fabricID, Version: gw.ModelVersion()}
+		}
+		pinned := make(map[string]bool, len(staticMasters))
+		for _, a := range staticMasters {
+			pinned[a] = true
+		}
+		announceStop := make(chan struct{})
+		announceDone := make(chan struct{})
+		go func() {
+			defer close(announceDone)
+			tick := time.NewTicker(*announceEvery)
+			defer tick.Stop()
+			for {
+				self := selfMember()
+				for _, addr := range bootstraps {
+					if _, err := cluster.Announce(addr, self, roster, *announceEvery); err != nil {
+						fmt.Printf("warning: announce %s: %v\n", addr, err)
+					}
+				}
+				roster.Expire(3 * *announceEvery)
+				want := make(map[string]bool)
+				for _, addr := range roster.Masters() {
+					if addr == self.Addr {
+						continue // self is the "local" target, not a wire hop
+					}
+					want[addr] = true
+					if _, ok := remotes[addr]; !ok {
+						rm := cluster.NewRemoteMaster(addr, *timeout)
+						remotes[addr] = rm
+						router.Upsert(addr, rm)
+					}
+				}
+				for addr, rm := range remotes {
+					if pinned[addr] || want[addr] {
+						continue
+					}
+					router.Remove(addr)
+					rm.Close()
+					delete(remotes, addr)
+				}
+				select {
+				case <-tick.C:
+				case <-announceStop:
+					return
+				}
+			}
+		}()
+		defer func() { close(announceStop); <-announceDone }()
+	}
+
+	// Co-located hot-swap: poll the bundle file and swap the local expert in
+	// place when it changes, cutting the gateway over to the new content
+	// hash — the restartless deploy path for single-node setups.
+	if *swapWatch > 0 {
+		watchStop := make(chan struct{})
+		watchDone := make(chan struct{})
+		lastVersion := modelVersion
+		go func() {
+			defer close(watchDone)
+			tick := time.NewTicker(*swapWatch)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+				case <-watchStop:
+					return
+				}
+				raw, err := os.ReadFile(*teamPath)
+				if err != nil {
+					continue
+				}
+				version := fmt.Sprintf("%x", sha256.Sum256(raw))[:16]
+				if version == lastVersion {
+					continue
+				}
+				team, err := core.LoadTeam(bytes.NewReader(raw))
+				if err != nil {
+					fmt.Printf("warning: swap-watch: reload %s: %v\n", *teamPath, err)
+					continue
+				}
+				switch {
+				case fabricSrv != nil && *local >= 0 && *local < team.K():
+					if err := fabricSrv.SwapLocalNetwork(team.Experts[*local], version); err != nil {
+						fmt.Printf("warning: swap-watch: %v\n", err)
+						continue
+					}
+				case fabricSrv != nil:
+					fabricSrv.SetModelVersion(version)
+					gw.SetModelVersion(version)
+				default:
+					gw.SetModelVersion(version)
+				}
+				lastVersion = version
+				fmt.Printf("hot-swapped model %s from %s\n", version, *teamPath)
+			}
+		}()
+		defer func() { close(watchStop); <-watchDone }()
+	}
 
 	var adm *admin.Server
 	if *adminAddr != "" {
@@ -167,6 +330,17 @@ func run() error {
 		})
 		adm.AddCounters(gw.Counters(), master.Counters())
 		adm.AddGauges(gw.Gauges(), master.Gauges())
+		// Only the pinned remotes are registered: gossip-discovered links
+		// come and go on the announce loop's goroutine, and the metric sets
+		// registered here must outlive them.
+		if router != nil {
+			adm.AddCounters(router.Counters())
+			adm.AddGauges(router.Gauges())
+			for _, rm := range staticRemotes {
+				adm.AddCounters(rm.Counters())
+				adm.AddGauges(rm.Gauges())
+			}
+		}
 		adm.AddHistograms(gw.Histograms(), master.Histograms())
 		adm.AddValueHistograms(gw.ValueHistograms())
 		adm.TracerFunc(master.Tracer)

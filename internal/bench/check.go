@@ -9,9 +9,10 @@ import (
 )
 
 // Regression check: `make bench-check` re-runs the transport, serving,
-// demand-shaping and forward-pass benchmarks with the configuration
+// demand-shaping, fleet and forward-pass benchmarks with the configuration
 // recorded in the committed BENCH_throughput.json / BENCH_serve.json /
-// BENCH_cache.json / BENCH_forward.json artifacts and fails when the
+// BENCH_cache.json / BENCH_fleet.json / BENCH_forward.json artifacts and
+// fails when the
 // headline numbers regress past tolerance — >20% lower goodput/QPS or >20%
 // higher p99 by default. A short re-run is noisy, so
 // each p99 limit also carries a small absolute grace; throughput limits are
@@ -31,6 +32,7 @@ type CheckConfig struct {
 	ServePath      string        // committed BENCH_serve.json ("" skips)
 	ForwardPath    string        // committed BENCH_forward.json ("" skips)
 	CachePath      string        // committed BENCH_cache.json ("" skips)
+	FleetPath      string        // committed BENCH_fleet.json ("" skips)
 	Duration       time.Duration // re-run window per mode; 0 = the committed window
 	Tolerance      float64       // allowed relative regression; 0 = CheckTolerance
 }
@@ -126,6 +128,22 @@ func EvaluateCacheCheck(committed, current *CacheBenchReport, tol float64) []Che
 	}
 }
 
+// EvaluateFleetCheck gates the serving fabric: aggregate goodput at the
+// largest scale and the scaling factor itself are relative floors, while the
+// hot-swap outcome is exact — a rollout that hard-fails even one request or
+// leaves one stale-version cache entry is a regression at any tolerance.
+func EvaluateFleetCheck(committed, current *FleetReport, tol float64) []CheckResult {
+	ct, cu := committed.Scales[len(committed.Scales)-1], current.Scales[len(current.Scales)-1]
+	return []CheckResult{
+		checkFloor("fleet.goodput_max.qps", ct.GoodputQPS, cu.GoodputQPS, tol),
+		checkFloor("fleet.scaling_x", committed.ScalingX, current.ScalingX, tol),
+		{Name: "fleet.swap.failed_requests", Committed: float64(ct.Swap.FailedRequests),
+			Current: float64(cu.Swap.FailedRequests), Limit: 0, Pass: cu.Swap.FailedRequests == 0},
+		{Name: "fleet.swap.stale_entries", Committed: float64(ct.Swap.StaleEntries),
+			Current: float64(cu.Swap.StaleEntries), Limit: 0, Pass: cu.Swap.StaleEntries == 0},
+	}
+}
+
 // RunBenchCheck loads the committed artifacts, re-runs each benchmark with
 // the committed configuration (at cfg.Duration when set), and compares. A
 // regression is reported in the CheckReport, not as an error — errors mean
@@ -206,6 +224,39 @@ func RunBenchCheck(cfg CheckConfig) (*CheckReport, error) {
 			return nil, fmt.Errorf("bench-check: cache re-run: %w", err)
 		}
 		report.Results = append(report.Results, EvaluateCacheCheck(&committed, current, tol)...)
+	}
+
+	if cfg.FleetPath != "" {
+		var committed FleetReport
+		if err := readJSON(cfg.FleetPath, &committed); err != nil {
+			return nil, err
+		}
+		if len(committed.Scales) == 0 {
+			return nil, fmt.Errorf("bench-check: %s records no scales", cfg.FleetPath)
+		}
+		dur := cfg.Duration
+		if dur <= 0 {
+			dur = time.Duration(committed.DurationSec * float64(time.Second))
+		}
+		scales := make([]int, len(committed.Scales))
+		for i, s := range committed.Scales {
+			scales[i] = s.Pairs
+		}
+		current, err := RunFleetBench(FleetConfig{
+			PairQPS:        committed.PairQPS,
+			Duration:       dur,
+			Deadline:       time.Duration(committed.DeadlineMs * float64(time.Millisecond)),
+			Scales:         scales,
+			WorkersPerPair: committed.WorkersPerPair,
+			NetDelay:       netDelayFromMs(committed.NetDelayMs),
+			MaxBatch:       committed.MaxBatch,
+			CacheSize:      committed.CacheSize,
+			KeySpace:       committed.KeySpace,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench-check: fleet re-run: %w", err)
+		}
+		report.Results = append(report.Results, EvaluateFleetCheck(&committed, current, tol)...)
 	}
 
 	if cfg.ForwardPath != "" {

@@ -45,7 +45,7 @@ func (m *Master) InferAdaptive(x *tensor.Tensor, entropyThreshold float64) (Adap
 // and "infer.adaptive.escalated" make the local/team split visible on
 // /metrics.
 func (m *Master) InferAdaptiveContext(ctx context.Context, x *tensor.Tensor, entropyThreshold float64) (AdaptiveResult, error) {
-	if m.local == nil {
+	if m.local.Load() == nil {
 		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive inference requires a local expert")
 	}
 	tr := m.tracer.get()
@@ -62,7 +62,11 @@ func (m *Master) inferAdaptive(ctx context.Context, x *tensor.Tensor, entropyThr
 		return AdaptiveResult{}, err
 	}
 	batch := x.Shape[0]
-	local := m.localResult(x, tr, root)
+	snap := m.local.Load()
+	if snap == nil {
+		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive inference requires a local expert")
+	}
+	local := m.localResult(snap, x, tr, root)
 	res := AdaptiveResult{
 		Probs:     local.Probs.Clone(),
 		Escalated: make([]bool, batch),
@@ -98,10 +102,11 @@ func (m *Master) inferAdaptive(ctx context.Context, x *tensor.Tensor, entropyThr
 // EscalationRate evaluates how often a threshold escalates on a sample set
 // — the knob the latency/accuracy trade-off turns on.
 func (m *Master) EscalationRate(x *tensor.Tensor, entropyThreshold float64) (float64, error) {
-	if m.local == nil {
+	snap := m.local.Load()
+	if snap == nil {
 		return 0, fmt.Errorf("cluster: escalation rate requires a local expert")
 	}
-	_, ent := m.localPredict(x)
+	_, ent := snap.PredictWithEntropy(x)
 	n := 0
 	for _, h := range ent.Data {
 		if h > entropyThreshold {

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// Fabric tests: membership gossip, versioned model push, and the
+// MasterServer/RemoteMaster wire pair. All run under -race via the full
+// test suite.
+
+// fabricSpec is a tiny MLP used across the fabric tests.
+var fabricSpec = nn.Spec{Kind: "mlp", MLP: &nn.MLPSpec{Label: "m", Input: 4, Width: 8, Layers: 1, Classes: 3}}
+
+func buildFabricNet(t *testing.T, seed int64) *nn.Network {
+	t.Helper()
+	n, err := fabricSpec.Build(tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func fabricInput(rows int) *tensor.Tensor {
+	x := tensor.New(rows, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i%7) / 7
+	}
+	return x
+}
+
+func TestFabricCodecRoundTrip(t *testing.T) {
+	x := fabricInput(3)
+	body := encodeFabricRequest(fabricModeQuorum, 42, 1e9, x)
+	mode, soft, budget, got, err := decodeFabricRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != fabricModeQuorum || soft != 42 || budget != 1e9 {
+		t.Fatalf("header round trip: mode=%d soft=%d budget=%d", mode, soft, budget)
+	}
+	// Tensors ride the wire as float32 (see transport.EncodeTensor).
+	for i := range x.Data {
+		if got.Data[i] != float64(float32(x.Data[i])) {
+			t.Fatalf("tensor element %d diverged", i)
+		}
+	}
+
+	probs := tensor.New(2, 3)
+	for i := range probs.Data {
+		probs.Data[i] = float64(i) / 6
+	}
+	res := encodeFabricResult(probs, []int{1, 0}, 2, 3)
+	gp, winners, live, total, err := decodeFabricResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 2 || total != 3 || winners[0] != 1 || winners[1] != 0 {
+		t.Fatalf("result round trip: live=%d total=%d winners=%v", live, total, winners)
+	}
+	for i := range probs.Data {
+		if gp.Data[i] != float64(float32(probs.Data[i])) {
+			t.Fatalf("probs element %d diverged", i)
+		}
+	}
+
+	if _, _, _, _, err := decodeFabricRequest([]byte{9}); err == nil {
+		t.Fatal("truncated fabric request accepted")
+	}
+	if _, _, _, _, err := decodeFabricResult([]byte{0, 1}); err == nil {
+		t.Fatal("truncated fabric result accepted")
+	}
+}
+
+func TestModelPushCodecRoundTrip(t *testing.T) {
+	net := buildFabricNet(t, 11)
+	payload, err := EncodeModelPush("v7", fabricSpec, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version, snap, err := DecodeModelPush(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != "v7" || snap == nil {
+		t.Fatalf("version=%q snap=%v", version, snap)
+	}
+	// The rebuilt snapshot must predict bit-identically to the original.
+	x := fabricInput(2)
+	want := nn.MustSnapshot(net).Predict(x)
+	got := snap.Predict(x)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) != 0 {
+			t.Fatalf("pushed snapshot diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	// Version-only push carries no snapshot.
+	vo, err := EncodeModelPush("v8", nn.Spec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version, snap, err = DecodeModelPush(vo)
+	if err != nil || version != "v8" || snap != nil {
+		t.Fatalf("version-only push: %q %v %v", version, snap, err)
+	}
+
+	if _, _, err := DecodeModelPush([]byte{0}); err == nil {
+		t.Fatal("truncated model push accepted")
+	}
+}
+
+func TestMasterServerFabricEndToEnd(t *testing.T) {
+	// One worker behind a master with a local expert, served over the
+	// fabric; a RemoteMaster client must see the same answers as direct
+	// master calls, strict and quorum.
+	worker := NewWorker(buildFabricNet(t, 1), 1)
+	waddr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+
+	master := NewMaster(buildFabricNet(t, 2), 3)
+	defer master.Close()
+	if err := master.Connect(waddr); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewMasterServer(master, 7)
+	srv.SetModelVersion("vA")
+	maddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rm := NewRemoteMaster(maddr, 2*time.Second)
+	defer rm.Close()
+
+	x := fabricInput(2)
+	wantProbs, wantWinners, err := master.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotProbs, gotWinners, err := rm.InferContext(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The input and reply each cross the wire as float32, so the remote
+	// answer matches direct inference to float32 precision, not bit-exactly.
+	for i := range wantProbs.Data {
+		if math.Abs(gotProbs.Data[i]-wantProbs.Data[i]) > 1e-5 {
+			t.Fatalf("fabric probs diverge at %d: %v vs %v", i, gotProbs.Data[i], wantProbs.Data[i])
+		}
+	}
+	for i := range wantWinners {
+		if gotWinners[i] != wantWinners[i] {
+			t.Fatalf("fabric winners diverge at %d: %d vs %d", i, gotWinners[i], wantWinners[i])
+		}
+	}
+
+	probs, winners, live, total, err := rm.InferQuorumContext(context.Background(), x, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 2 || total != 2 {
+		t.Fatalf("quorum live=%d total=%d, want 2/2", live, total)
+	}
+	if probs.Shape[0] != 2 || len(winners) != 2 {
+		t.Fatalf("quorum result shape %v / %d winners", probs.Shape, len(winners))
+	}
+
+	// A second strict call pipelines on the same link.
+	if _, _, err := rm.InferContext(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+
+	// An expired caller deadline is the caller's error, and the link
+	// survives for the next request.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, _, err := rm.InferContext(ctx, x); err == nil {
+		t.Fatal("expired deadline succeeded")
+	}
+	if _, _, err := rm.InferContext(context.Background(), x); err != nil {
+		t.Fatalf("link did not survive a caller abort: %v", err)
+	}
+}
+
+func TestModelPushHotSwapOverWire(t *testing.T) {
+	worker := NewWorker(buildFabricNet(t, 1), 1)
+	waddr, err := worker.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	worker.SetModelVersion("vA")
+
+	master := NewMaster(buildFabricNet(t, 2), 3)
+	defer master.Close()
+	if err := master.Connect(waddr); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewMasterServer(master, 7)
+	srv.SetModelVersion("vA")
+	maddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var swapped []string
+	swapCh := make(chan string, 1)
+	srv.SetOnSwap(func(v string) {
+		swapped = append(swapped, v)
+		swapCh <- v
+	})
+
+	x := fabricInput(2)
+	before, _, err := master.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Push new weights to the worker, then the master — the documented
+	// rollout ordering (gateway cutover last, via the onSwap hook).
+	newNet := buildFabricNet(t, 99)
+	if err := PushModel(waddr, "vB", fabricSpec, newNet, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := worker.ModelVersion(); got != "vB" {
+		t.Fatalf("worker version %q after push, want vB", got)
+	}
+	if err := PushModel(maddr, "vB", fabricSpec, newNet, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-swapCh:
+		if v != "vB" {
+			t.Fatalf("onSwap saw %q, want vB", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("onSwap hook never ran")
+	}
+	if got := srv.ModelVersion(); got != "vB" {
+		t.Fatalf("master version %q after push, want vB", got)
+	}
+
+	after, _, err := master.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("hot swap did not change the served model")
+	}
+	if master.Counters().Counter("model.swaps").Value() != 1 {
+		t.Fatalf("model.swaps = %d, want 1", master.Counters().Counter("model.swaps").Value())
+	}
+}
+
+func TestAnnounceGossipSpreadsMasters(t *testing.T) {
+	// Two master servers; B announces to A, then a gateway bootstrapping
+	// against A alone must discover B through the gossip sample.
+	ma := NewMaster(buildFabricNet(t, 2), 3)
+	defer ma.Close()
+	srvA := NewMasterServer(ma, 1)
+	addrA, err := srvA.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+
+	mb := NewMaster(buildFabricNet(t, 3), 3)
+	defer mb.Close()
+	srvB := NewMasterServer(mb, 2)
+	if _, err := srvB.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	if _, err := srvB.Announce(addrA, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// B learned A from the exchange (anti-entropy runs both ways; the
+	// gossip sample may echo B itself back — harmless).
+	foundA := false
+	for _, a := range srvB.Roster().Masters() {
+		if a == addrA {
+			foundA = true
+		}
+	}
+	if !foundA {
+		t.Fatalf("B's roster after announce: %v, want %s present", srvB.Roster().Masters(), addrA)
+	}
+
+	roster := NewRoster()
+	self := Member{Role: RoleGateway, ID: 9}
+	if _, err := Announce(addrA, self, roster, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	masters := roster.Masters()
+	if len(masters) != 2 {
+		t.Fatalf("gateway discovered %v masters, want both via gossip", masters)
+	}
+
+	// Expiry ages out members that stop announcing.
+	if n := roster.Expire(0); n != len(masters) {
+		t.Fatalf("Expire(0) dropped %d, want %d", n, len(masters))
+	}
+	if roster.Len() != 0 {
+		t.Fatalf("roster still holds %d entries after expiry", roster.Len())
+	}
+}

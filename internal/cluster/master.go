@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/teamnet/teamnet/internal/metrics"
@@ -49,7 +50,11 @@ func (r *tracerRef) set(tr *trace.Tracer) {
 // repeatedly-failing peer is quarantined by a circuit breaker and probed
 // back into rotation — the master survives worker churn without restarts.
 type Master struct {
-	local    *nn.Snapshot // this node's frozen expert; may be nil (pure coordinator)
+	// local is this node's frozen expert; nil = pure coordinator. An
+	// atomic pointer so a versioned model push can hot-swap the snapshot
+	// while inferences are in flight: each query loads the pointer once
+	// and runs to completion on whichever snapshot it started with.
+	local    atomic.Pointer[nn.Snapshot]
 	classes  int
 	counters *metrics.CounterSet
 	gauges   *metrics.GaugeSet
@@ -103,12 +108,7 @@ type peerConn struct {
 // it. classes is the classifier width, needed to shape gathered results.
 // It panics on an uncompilable expert (programmer error at construction).
 func NewMaster(local *nn.Network, classes int) *Master {
-	var snap *nn.Snapshot
-	if local != nil {
-		snap = nn.MustSnapshot(local)
-	}
-	return &Master{
-		local:    snap,
+	m := &Master{
 		classes:  classes,
 		counters: metrics.NewCounterSet(),
 		gauges:   metrics.NewGaugeSet(),
@@ -119,6 +119,22 @@ func NewMaster(local *nn.Network, classes int) *Master {
 		sup:      DefaultSupervisorConfig(),
 		done:     make(chan struct{}),
 	}
+	if local != nil {
+		m.local.Store(nn.MustSnapshot(local))
+	}
+	return m
+}
+
+// SwapLocal hot-swaps the local expert for a new frozen snapshot without
+// interrupting in-flight inferences: queries that already loaded the old
+// snapshot finish on it, later queries see the new one. A nil snapshot
+// demotes the master to a pure coordinator. This is the master half of the
+// versioned model push (see modelpush.go); the caller is responsible for
+// bumping the gateway's model version afterwards so cached answers from the
+// old expert are invalidated.
+func (m *Master) SwapLocal(snap *nn.Snapshot) {
+	m.local.Store(snap)
+	m.counters.Counter("model.swaps").Inc()
 }
 
 // SetTracer installs (or, with nil, removes) the span collector for every
@@ -239,16 +255,10 @@ func (m *Master) Nodes() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := len(m.peers)
-	if m.local != nil {
+	if m.local.Load() != nil {
 		n++
 	}
 	return n
-}
-
-// localPredict runs the local expert's snapshot; concurrent Infer calls
-// proceed in parallel, the snapshot is freely shared.
-func (m *Master) localPredict(x *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-	return m.local.PredictWithEntropy(x)
 }
 
 // snapshotPeers copies the peer slice for lock-free fan-out.
@@ -293,11 +303,12 @@ func (m *Master) infer(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer, 
 		return nil, nil, err
 	}
 	peers := m.snapshotPeers()
+	local := m.local.Load()
 
 	batch := x.Shape[0]
 	nodes := len(peers)
 	localIdx := -1
-	if m.local != nil {
+	if local != nil {
 		nodes++
 		localIdx = 0
 	}
@@ -325,7 +336,7 @@ func (m *Master) infer(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer, 
 		}(p, slot)
 	}
 	if localIdx == 0 {
-		results[0] = m.localResult(x, tr, root)
+		results[0] = m.localResult(local, x, tr, root)
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -365,10 +376,12 @@ func (m *Master) encodeInput(x *tensor.Tensor, tr *trace.Tracer, root trace.Cont
 	return appendTraceContext(payload, root)
 }
 
-// localResult runs the local expert under a "local.compute" span.
-func (m *Master) localResult(x *tensor.Tensor, tr *trace.Tracer, root trace.Context) PredictResult {
+// localResult runs the given local-expert snapshot under a "local.compute"
+// span. The snapshot is passed in (loaded once per query) so a concurrent
+// SwapLocal cannot change the model mid-query.
+func (m *Master) localResult(local *nn.Snapshot, x *tensor.Tensor, tr *trace.Tracer, root trace.Context) PredictResult {
 	start := time.Now()
-	probs, ent := m.localPredict(x)
+	probs, ent := local.PredictWithEntropy(x)
 	d := time.Since(start)
 	m.hists.Observe("local.compute", d)
 	tr.Record(root, "local.compute", "", "", start, d)
@@ -480,9 +493,10 @@ func (m *Master) gather(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer,
 		return nil, nil, 0, err
 	}
 	peers := m.snapshotPeers()
+	local := m.local.Load()
 	nodes := len(peers)
 	localIdx := -1
-	if m.local != nil {
+	if local != nil {
 		nodes++
 		localIdx = 0
 	}
@@ -530,7 +544,7 @@ func (m *Master) gather(ctx context.Context, x *tensor.Tensor, tr *trace.Tracer,
 					resc <- slotResult{slot: 0}
 				}
 			}()
-			resc <- slotResult{slot: 0, res: m.localResult(x, tr, root), ok: true}
+			resc <- slotResult{slot: 0, res: m.localResult(local, x, tr, root), ok: true}
 		}()
 	}
 

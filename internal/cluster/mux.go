@@ -63,6 +63,8 @@ type muxReply struct {
 type muxClient struct {
 	conn     net.Conn
 	fresh    bool // conn was dialed for this client, not adopted
+	reqType  byte // frame type of outgoing requests (MsgPredictMux on peer links)
+	resType  byte // frame type of matched replies (MsgResultMux on peer links)
 	writeCh  chan muxWrite
 	window   chan struct{} // in-flight slots
 	inflight *metrics.Gauge
@@ -89,9 +91,19 @@ type muxWrite struct {
 // that closes before any reply is a trustworthy pre-mux-build signal — an
 // adopted connection may simply be stale (worker restarted since Connect).
 func newMuxClient(conn net.Conn, fresh bool, inflight, queued *metrics.Gauge, onDown func(error)) *muxClient {
+	return newMuxClientTyped(conn, fresh, MsgPredictMux, MsgResultMux, inflight, queued, onDown)
+}
+
+// newMuxClientTyped is newMuxClient with the request/reply frame types made
+// explicit, so the same pipeline drives both the master→worker peer link
+// (MsgPredictMux/MsgResultMux) and the gateway→master fabric link
+// (MsgFabricPredict/MsgFabricResult). Error replies are MsgErrorMux on both.
+func newMuxClientTyped(conn net.Conn, fresh bool, reqType, resType byte, inflight, queued *metrics.Gauge, onDown func(error)) *muxClient {
 	mc := &muxClient{
 		conn:     conn,
 		fresh:    fresh,
+		reqType:  reqType,
+		resType:  resType,
 		writeCh:  make(chan muxWrite),
 		window:   make(chan struct{}, muxWindow),
 		inflight: inflight,
@@ -157,7 +169,7 @@ func (mc *muxClient) writeLoop() {
 	for {
 		select {
 		case w := <-mc.writeCh:
-			if err := transport.WriteFrame(mc.conn, MsgPredictMux, appendMuxID(w.id, w.payload)); err != nil {
+			if err := transport.WriteFrame(mc.conn, mc.reqType, appendMuxID(w.id, w.payload)); err != nil {
 				mc.fail(fmt.Errorf("cluster: mux write: %w", err))
 				return
 			}
@@ -191,7 +203,7 @@ func (mc *muxClient) readLoop() {
 			return
 		}
 		switch typ {
-		case MsgResultMux, MsgErrorMux:
+		case mc.resType, MsgErrorMux:
 			id, rest, perr := splitMuxID(payload)
 			if perr != nil {
 				mc.fail(perr)

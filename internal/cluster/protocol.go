@@ -57,6 +57,23 @@ const (
 	MsgPredictMux
 	MsgResultMux
 	MsgErrorMux
+	// MsgAnnounce / MsgAnnounceOK carry fabric membership: a JSON-encoded
+	// announcement (the sender's Member descriptor plus a bounded sample of
+	// its roster) exchanged gateway↔master↔worker; each exchange merges
+	// both sides' rosters — cheap anti-entropy gossip (see membership.go).
+	MsgAnnounce
+	MsgAnnounceOK
+	// MsgModelPush / MsgModelPushOK distribute a versioned expert snapshot
+	// over the wire (nn.Spec JSON + the nn/snapshot codec stream) so masters
+	// and workers hot-swap models without restart (see modelpush.go).
+	MsgModelPush
+	MsgModelPushOK
+	// MsgFabricPredict / MsgFabricResult are the gateway→master inference
+	// frames: mux-pipelined like MsgPredictMux, but the reply carries the
+	// combined ensemble answer (winners + live/total quorum) instead of one
+	// expert's probabilities + entropies (see masterserver.go).
+	MsgFabricPredict
+	MsgFabricResult
 )
 
 // muxIDSize is the request-id prefix every mux payload carries.

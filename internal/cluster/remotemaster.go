@@ -1,0 +1,148 @@
+package cluster
+
+// RemoteMaster is the gateway-side client for one MasterServer: it
+// satisfies the serve package's Backend and DegradedBackend contracts
+// (structurally — serve never imports cluster types) over a single
+// mux-pipelined TCP connection, so a gateway can treat a master three hops
+// away exactly like an in-process one. The link self-heals: a dead pipeline
+// fails every pending request once, and the next call redials fresh.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/metrics"
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/transport"
+)
+
+// RemoteMaster pipelines fabric inferences to one master address.
+type RemoteMaster struct {
+	addr     string
+	timeout  time.Duration // per-request link deadline; 0 = none
+	counters *metrics.CounterSet
+	gauges   *metrics.GaugeSet
+
+	mu     sync.Mutex
+	muxc   *muxClient
+	closed bool
+}
+
+// NewRemoteMaster returns a client for the master serving at addr. Nothing
+// is dialed until the first call; timeout bounds each round trip (a stalled
+// pipeline is torn down and redialed, like the peer mux link).
+func NewRemoteMaster(addr string, timeout time.Duration) *RemoteMaster {
+	return &RemoteMaster{
+		addr:     addr,
+		timeout:  timeout,
+		counters: metrics.NewCounterSet(),
+		gauges:   metrics.NewGaugeSet(),
+	}
+}
+
+// Addr returns the target master's address.
+func (r *RemoteMaster) Addr() string { return r.addr }
+
+// Counters exposes the client's counters ("fabric.requests",
+// "fabric.errors", "fabric.redials").
+func (r *RemoteMaster) Counters() *metrics.CounterSet { return r.counters }
+
+// Gauges exposes "fabric.inflight" and "fabric.queue_depth".
+func (r *RemoteMaster) Gauges() *metrics.GaugeSet { return r.gauges }
+
+// ensure returns a live mux client, dialing a fresh connection if the
+// previous pipeline died.
+func (r *RemoteMaster) ensure() (*muxClient, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("cluster: remote master %s is closed", r.addr)
+	}
+	if r.muxc != nil && r.muxc.alive() {
+		return r.muxc, nil
+	}
+	if r.muxc != nil {
+		r.counters.Counter("fabric.redials").Inc()
+	}
+	conn, err := transport.Dial(r.addr, r.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: remote master dial %s: %w", r.addr, err)
+	}
+	r.muxc = newMuxClientTyped(conn, true, MsgFabricPredict, MsgFabricResult,
+		r.gauges.Gauge("fabric.inflight"), r.gauges.Gauge("fabric.queue_depth"),
+		func(error) { r.counters.Counter("fabric.link_down").Inc() })
+	return r.muxc, nil
+}
+
+// call performs one fabric round trip.
+func (r *RemoteMaster) call(ctx context.Context, mode byte, soft time.Duration, x *tensor.Tensor) (probs *tensor.Tensor, winners []int, live, total int, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	mc, err := r.ensure()
+	if err != nil {
+		r.counters.Counter("fabric.errors").Inc()
+		return nil, nil, 0, 0, err
+	}
+	// The caller's remaining deadline rides in the request as a budget, so
+	// the master bounds its own gather without clock synchronization.
+	var budgetNs uint64
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			budgetNs = uint64(rem)
+		}
+	}
+	var softNs uint64
+	if soft > 0 {
+		softNs = uint64(soft)
+	}
+	r.counters.Counter("fabric.requests").Inc()
+	payload := encodeFabricRequest(mode, softNs, budgetNs, x)
+	reply, _, err := mc.roundTrip(ctx, payload, r.timeout, ctx.Done())
+	if err != nil {
+		r.counters.Counter("fabric.errors").Inc()
+		return nil, nil, 0, 0, err
+	}
+	if reply.typ == MsgErrorMux {
+		r.counters.Counter("fabric.errors").Inc()
+		return nil, nil, 0, 0, fmt.Errorf("cluster: master %s: %s", r.addr, reply.payload)
+	}
+	probs, winners, live, total, err = decodeFabricResult(reply.payload)
+	if err != nil {
+		// Undecodable reply: corrupted pipeline, tear it down like the
+		// peer mux path does.
+		mc.fail(err)
+		r.counters.Counter("fabric.errors").Inc()
+		return nil, nil, 0, 0, err
+	}
+	return probs, winners, live, total, nil
+}
+
+// InferContext asks the master for a strict full-ensemble inference
+// (serve.Backend contract).
+func (r *RemoteMaster) InferContext(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, []int, error) {
+	probs, winners, _, _, err := r.call(ctx, fabricModeStrict, 0, x)
+	return probs, winners, err
+}
+
+// InferQuorumContext asks the master for a partial-quorum inference
+// (serve.DegradedBackend contract): the master answers with whatever subset
+// replied once soft elapses, and live < total marks the answer degraded.
+func (r *RemoteMaster) InferQuorumContext(ctx context.Context, x *tensor.Tensor, soft time.Duration) (probs *tensor.Tensor, winners []int, live, total int, err error) {
+	return r.call(ctx, fabricModeQuorum, soft, x)
+}
+
+// Close tears the pipeline down; pending requests fail promptly.
+func (r *RemoteMaster) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	mc := r.muxc
+	r.muxc = nil
+	r.mu.Unlock()
+	if mc != nil {
+		mc.close()
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/teamnet/teamnet/internal/metrics"
@@ -26,16 +27,22 @@ import (
 // trailer additionally record a "worker.predict" span — under the
 // propagated master trace id — into the worker's own tracer.
 type Worker struct {
-	snap     *nn.Snapshot // frozen expert; safe for concurrent inference
-	id       int          // election identity; higher wins
+	// snap is the frozen expert, safe for concurrent inference. An atomic
+	// pointer so a versioned model push (MsgModelPush) can hot-swap it
+	// while requests are in flight: each predict loads the pointer once.
+	snap     atomic.Pointer[nn.Snapshot]
+	id       int // election identity; higher wins
 	counters *metrics.CounterSet
 	hists    *metrics.HistogramSet
 	tracer   *tracerRef
+	roster   *Roster // fabric membership view, fed by announce exchanges
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	addr     string // bound listen address, set by Listen
+	version  string // model version label, set by SetModelVersion / pushes
 }
 
 // NewWorker compiles an expert network into a frozen inference snapshot
@@ -54,15 +61,58 @@ func NewWorkerSnapshot(snap *nn.Snapshot, id int) *Worker {
 	if snap == nil {
 		panic("cluster: worker needs an expert snapshot")
 	}
-	return &Worker{
-		snap:     snap,
+	w := &Worker{
 		id:       id,
 		conns:    make(map[net.Conn]struct{}),
 		counters: metrics.NewCounterSet(),
 		hists:    metrics.NewHistogramSet(),
 		tracer:   &tracerRef{},
+		roster:   NewRoster(),
 	}
+	w.snap.Store(snap)
+	return w
 }
+
+// SwapSnapshot hot-swaps the serving expert: in-flight predicts finish on
+// the snapshot they loaded, later requests run on the new one. version
+// labels the new model (reported in announce exchanges). This is what a
+// MsgModelPush applies; it is also exported for co-located swaps (e.g. a
+// -swap-watch reload in teamnet-node).
+func (w *Worker) SwapSnapshot(snap *nn.Snapshot, version string) {
+	if snap == nil {
+		panic("cluster: worker needs an expert snapshot")
+	}
+	w.snap.Store(snap)
+	w.mu.Lock()
+	w.version = version
+	w.mu.Unlock()
+	w.counters.Counter("model.swaps").Inc()
+}
+
+// SetModelVersion labels the currently served model without swapping
+// weights (the startup label, derived from the bundle hash in teamnet-node).
+func (w *Worker) SetModelVersion(version string) {
+	w.mu.Lock()
+	w.version = version
+	w.mu.Unlock()
+}
+
+// ModelVersion returns the served model's version label.
+func (w *Worker) ModelVersion() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.version
+}
+
+// Member returns this worker's membership descriptor (valid after Listen).
+func (w *Worker) Member() Member {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Member{Role: RoleWorker, Addr: w.addr, ID: w.id, Version: w.version}
+}
+
+// Roster exposes the worker's membership view.
+func (w *Worker) Roster() *Roster { return w.roster }
 
 // Counters exposes the worker's serving counters ("requests",
 // "panics.recovered", ...).
@@ -89,6 +139,7 @@ func (w *Worker) Listen(addr string) (string, error) {
 	}
 	w.mu.Lock()
 	w.ln = ln
+	w.addr = ln.Addr().String()
 	w.mu.Unlock()
 	w.wg.Add(1)
 	go w.acceptLoop(ln)
@@ -221,6 +272,28 @@ func (w *Worker) serveConn(conn net.Conn) {
 			if err := cw.write(MsgElectionOK, electionReply(w.id)); err != nil {
 				return
 			}
+		case MsgAnnounce:
+			reply, aerr := handleAnnounce(w.roster, w.Member(), payload)
+			if aerr != nil {
+				_ = cw.write(MsgError, []byte(aerr.Error()))
+				return
+			}
+			if err := cw.write(MsgAnnounceOK, reply); err != nil {
+				return
+			}
+		case MsgModelPush:
+			version, perr := w.applyModelPush(payload)
+			if perr != nil {
+				// A bad push costs one error frame, not the connection:
+				// the frame boundary is intact.
+				if err := cw.write(MsgError, []byte(perr.Error())); err != nil {
+					return
+				}
+				continue
+			}
+			if err := cw.write(MsgModelPushOK, []byte(version)); err != nil {
+				return
+			}
 		default:
 			_ = cw.write(MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ)))
 			return
@@ -283,8 +356,25 @@ func (w *Worker) predict(x *tensor.Tensor) (res PredictResult, err error) {
 			err = fmt.Errorf("cluster: predict panic: %v", r)
 		}
 	}()
-	probs, ent := w.snap.PredictWithEntropy(x)
+	probs, ent := w.snap.Load().PredictWithEntropy(x)
 	return PredictResult{Probs: probs, Entropy: ent.Data}, nil
+}
+
+// applyModelPush decodes and applies one MsgModelPush: swap the expert when
+// the push carries weights, or just re-label on a version-only push. The
+// swap happens before the ack is written, so a successful PushModel means
+// the worker is already serving the new version.
+func (w *Worker) applyModelPush(payload []byte) (version string, err error) {
+	version, snap, err := DecodeModelPush(payload)
+	if err != nil {
+		return "", err
+	}
+	if snap != nil {
+		w.SwapSnapshot(snap, version)
+	} else {
+		w.SetModelVersion(version)
+	}
+	return version, nil
 }
 
 // ID returns the worker's election identity.

@@ -88,22 +88,30 @@ func cloneResult(r Result) Result {
 	return out
 }
 
-// cacheEntry is one cached response with its expiry (zero = never).
+// cacheEntry is one cached response with its expiry (zero = never) and the
+// model version it was computed under.
 type cacheEntry struct {
 	key     cacheKey
+	version string
 	res     Result
 	expires time.Time
 }
 
 // responseCache is the bounded LRU+TTL store. It is a pure container: the
 // gateway owns all metric accounting, the cache just reports what happened.
-// Safe for concurrent use.
+// Safe for concurrent use. The store tracks the current model version so a
+// put computed under a superseded version can be rejected under the same
+// lock that serialized the purge — without this, a leader that started
+// before a hot swap re-inserts an entry keyed under the old version: dead
+// weight that can never be looked up again (new digests use the new
+// version) but still occupies LRU capacity until evicted.
 type responseCache struct {
-	mu    sync.Mutex
-	max   int
-	ttl   time.Duration
-	ll    *list.List // front = most recently used
-	items map[cacheKey]*list.Element
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	version string
+	ll      *list.List // front = most recently used
+	items   map[cacheKey]*list.Element
 }
 
 func newResponseCache(max int, ttl time.Duration) *responseCache {
@@ -135,23 +143,29 @@ func (c *responseCache) get(key cacheKey, now time.Time) (res Result, ok, expire
 	return cloneResult(ent.res), true, false
 }
 
-// put stores a deep copy of res under key and returns how many entries were
-// evicted to stay within the bound.
-func (c *responseCache) put(key cacheKey, res Result, now time.Time) (evicted int) {
+// put stores a deep copy of res under key, provided version still matches
+// the store's current version. stale reports a rejected put (the version
+// moved between digest time and now); evicted is how many entries were
+// dropped to stay within the bound.
+func (c *responseCache) put(key cacheKey, version string, res Result, now time.Time) (evicted int, stale bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if version != c.version {
+		return 0, true
+	}
 	var expires time.Time
 	if c.ttl > 0 {
 		expires = now.Add(c.ttl)
 	}
 	if el, found := c.items[key]; found {
 		ent := el.Value.(*cacheEntry)
+		ent.version = version
 		ent.res = cloneResult(res)
 		ent.expires = expires
 		c.ll.MoveToFront(el)
-		return 0
+		return 0, false
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, res: cloneResult(res), expires: expires})
+	el := c.ll.PushFront(&cacheEntry{key: key, version: version, res: cloneResult(res), expires: expires})
 	c.items[key] = el
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
@@ -159,16 +173,40 @@ func (c *responseCache) put(key cacheKey, res Result, now time.Time) (evicted in
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 		evicted++
 	}
-	return evicted
+	return evicted, false
 }
 
-// purge empties the store (snapshot swap) and returns how many entries died.
-func (c *responseCache) purge() int {
+// setVersion records the model version the store serves under. The first
+// call labels the version the gateway started with; a later change is a
+// swap: the store purges under the same lock, so a concurrent put computed
+// under the old version is rejected no matter how the goroutines interleave.
+// swapped reports whether a purge happened; purged is how many entries died.
+func (c *responseCache) setVersion(v string) (purged int, swapped bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	prev := c.version
+	c.version = v
+	if prev == v || prev == "" {
+		return 0, false
+	}
 	n := c.ll.Len()
 	c.ll.Init()
 	c.items = make(map[cacheKey]*list.Element, c.max)
+	return n, true
+}
+
+// stale counts live entries stored under a version other than the current
+// one. With the versioned-put guard this is always zero; benches and tests
+// assert it to pin the invariant.
+func (c *responseCache) stale() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if el.Value.(*cacheEntry).version != c.version {
+			n++
+		}
+	}
 	return n
 }
 
@@ -196,17 +234,36 @@ type flight struct {
 // content hash at startup).
 func (g *Gateway) SetModelVersion(v string) {
 	g.modelMu.Lock()
-	prev := g.modelVersion
 	g.modelVersion = v
 	g.modelMu.Unlock()
-	// The first call labels the model the gateway started with; only a
-	// later change is a swap worth counting and purging for.
-	if prev == v || prev == "" || g.cache == nil {
+	if g.cache == nil {
 		return
 	}
-	g.cache.purge()
+	// The first call labels the model the gateway started with; only a
+	// later change is a swap worth counting and purging for. The cache
+	// tracks the version itself so the purge and the version change are
+	// one atomic step w.r.t. concurrent versioned puts.
+	if _, swapped := g.cache.setVersion(v); !swapped {
+		return
+	}
 	g.counters.Counter("serve.cache.invalidations").Inc()
+	// A swap starts a fresh measurement window: the lifetime ratio would
+	// blend old-model traffic in and hide the post-swap cold cache.
+	g.cacheHits.Store(0)
+	g.cacheLookups.Store(0)
+	g.gauges.Gauge("serve.cache.hit_rate_pct").Set(0)
 	g.gauges.Gauge("serve.cache.size").Set(int64(g.cache.len()))
+}
+
+// CacheStats reports the cache's live entry count and how many of those
+// entries were stored under a version other than the current one. stale is
+// always zero while the versioned-put guard holds; the fleet bench asserts
+// it after every scripted hot-swap.
+func (g *Gateway) CacheStats() (size, stale int) {
+	if g.cache == nil {
+		return 0, 0
+	}
+	return g.cache.len(), g.cache.stale()
 }
 
 // ModelVersion returns the version label the cache keys are derived under.
@@ -242,20 +299,34 @@ func (g *Gateway) cacheGet(key cacheKey) (Result, bool) {
 			g.counters.Counter("serve.cache.expired").Inc()
 		}
 	}
+	// The window counters reset on invalidation, so a racing reset can
+	// leave lookups at zero (guard the division) or momentarily behind
+	// hits (clamp the ratio).
 	if lookups := g.cacheLookups.Load(); lookups > 0 {
-		g.gauges.Gauge("serve.cache.hit_rate_pct").Set(g.cacheHits.Load() * 100 / lookups)
+		pct := g.cacheHits.Load() * 100 / lookups
+		if pct > 100 {
+			pct = 100
+		}
+		g.gauges.Gauge("serve.cache.hit_rate_pct").Set(pct)
 	}
 	g.gauges.Gauge("serve.cache.size").Set(int64(g.cache.len()))
 	return res, ok
 }
 
 // cachePut stores a served result, counting evictions. Degraded answers and
-// errors never reach here.
-func (g *Gateway) cachePut(key cacheKey, res Result) {
+// errors never reach here. version is the model version the result was
+// computed under; if a hot swap landed since, the put is skipped and
+// counted as serve.cache.stale_puts instead of inserting dead weight.
+func (g *Gateway) cachePut(key cacheKey, version string, res Result) {
 	if g.cache == nil {
 		return
 	}
-	if evicted := g.cache.put(key, res, time.Now()); evicted > 0 {
+	evicted, stale := g.cache.put(key, version, res, time.Now())
+	if stale {
+		g.counters.Counter("serve.cache.stale_puts").Inc()
+		return
+	}
+	if evicted > 0 {
 		g.counters.Counter("serve.cache.evictions").Add(int64(evicted))
 	}
 	g.gauges.Gauge("serve.cache.size").Set(int64(g.cache.len()))
@@ -307,7 +378,11 @@ func isContextErr(err error) bool {
 // singleflight, then the ordinary admission queue for leaders. opts ride
 // with the leader; waiters inherit the leader's outcome.
 func (g *Gateway) predictShaped(ctx context.Context, x *tensor.Tensor, opts Options) (Result, error) {
-	key := g.digestFor(x)
+	// The version is captured alongside the key: if a hot swap lands while
+	// the leader is in flight, the put below is rejected instead of
+	// re-inserting an entry keyed under the superseded version.
+	version := g.ModelVersion()
+	key := digest(version, x)
 	start := time.Now()
 	if res, ok := g.cacheGet(key); ok {
 		res.Cached = true
@@ -321,7 +396,7 @@ func (g *Gateway) predictShaped(ctx context.Context, x *tensor.Tensor, opts Opti
 		if leader {
 			res, err := g.predictQueued(ctx, x, opts)
 			if err == nil && !res.Degraded {
-				g.cachePut(key, res)
+				g.cachePut(key, version, res)
 			}
 			g.finishFlight(key, fl, res, err)
 			return res, err

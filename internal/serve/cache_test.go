@@ -487,3 +487,102 @@ func TestConcurrentShapedTraffic(t *testing.T) {
 		t.Fatalf("backend ran %d times for %d requests — shaping did nothing", got, goroutines*perG)
 	}
 }
+
+// TestHotSwapMidFlightSkipsStalePut: a SetModelVersion lands while the
+// leader is inside the backend. The purge must win: the leader's cachePut —
+// computed under the superseded version — is skipped (counted under
+// serve.cache.stale_puts), waiters still get the leader's share, and the
+// cache holds no version-A entry afterward. Runs under -race via make
+// verify.
+func TestHotSwapMidFlightSkipsStalePut(t *testing.T) {
+	be := &gatedBackend{gate: make(chan struct{}, 4), entered: make(chan struct{}, 4)}
+	gw := New(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond, CacheSize: 16, Coalesce: true})
+	defer gw.Close()
+	gw.SetModelVersion("vA")
+
+	// Seed one resident version-A entry so the purge has something to kill.
+	be.gate <- struct{}{}
+	if _, err := gw.Predict(context.Background(), row(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	<-be.entered
+	if size, _ := gw.CacheStats(); size != 1 {
+		t.Fatalf("seed entry not resident (size %d)", size)
+	}
+
+	// Wedge a leader inside the backend under version A.
+	x := row(2, 1)
+	key := gw.digestFor(x)
+	type out struct {
+		res Result
+		err error
+	}
+	leaderDone := make(chan out, 1)
+	go func() {
+		res, err := gw.Predict(context.Background(), x)
+		leaderDone <- out{res, err}
+	}()
+	<-be.entered
+
+	waiterDone := make(chan out, 1)
+	go func() {
+		res, err := gw.Predict(context.Background(), row(2, 1))
+		waiterDone <- out{res, err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.flightWaiters(key) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The hot swap lands mid-flight: exactly one purge, cache emptied.
+	gw.SetModelVersion("vB")
+	if got := gw.Counters().Counter("serve.cache.invalidations").Value(); got != 1 {
+		t.Fatalf("serve.cache.invalidations = %d, want exactly 1", got)
+	}
+	if size, _ := gw.CacheStats(); size != 0 {
+		t.Fatalf("purge left %d entries resident", size)
+	}
+
+	// Release the leader. Its put was computed under vA and must be skipped.
+	be.gate <- struct{}{}
+	lr := <-leaderDone
+	if lr.err != nil {
+		t.Fatalf("leader failed across the swap: %v", lr.err)
+	}
+	wr := <-waiterDone
+	if wr.err != nil {
+		t.Fatalf("waiter failed across the swap: %v", wr.err)
+	}
+	if wr.res.Winners[0] != 1 || wr.res.Cached {
+		t.Fatalf("waiter share wrong (winner %d, cached %v), want leader's uncached result",
+			wr.res.Winners[0], wr.res.Cached)
+	}
+	if got := gw.Counters().Counter("serve.cache.coalesced").Value(); got != 1 {
+		t.Fatalf("serve.cache.coalesced = %d, want 1", got)
+	}
+	if got := gw.Counters().Counter("serve.cache.stale_puts").Value(); got != 1 {
+		t.Fatalf("serve.cache.stale_puts = %d, want 1", got)
+	}
+	size, stale := gw.CacheStats()
+	if size != 0 || stale != 0 {
+		t.Fatalf("version-A entry survived the swap (size %d, stale %d)", size, stale)
+	}
+
+	// The hit-rate window restarted at the swap: the next lookup is the
+	// first of the new window, so the gauge reads 0, not a lifetime blend.
+	be.gate <- struct{}{}
+	res, err := gw.Predict(context.Background(), row(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-be.entered
+	if res.Cached {
+		t.Fatal("post-swap request served a stale version-A answer")
+	}
+	if got := gw.Gauges().Gauge("serve.cache.hit_rate_pct").Value(); got != 0 {
+		t.Fatalf("hit_rate_pct = %d after window reset, want 0", got)
+	}
+}
