@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify fmt-check docs linkcheck bench bench-throughput bench-serve bench-soak bench-forward bench-cache bench-fleet bench-check clean
+.PHONY: build test verify fmt-check docs linkcheck bench bench-throughput bench-serve bench-soak bench-forward bench-cache bench-fleet bench-split bench-check clean
 
 build:
 	$(GO) build ./...
@@ -33,7 +33,7 @@ linkcheck:
 verify: fmt-check docs
 	$(GO) vet ./...
 	$(GO) test -short ./...
-	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/... ./internal/trace/... ./internal/serve/... ./internal/nn/... ./internal/tensor/...
+	$(GO) test -race -count=1 ./internal/cluster/... ./internal/transport/... ./internal/chaos/... ./internal/trace/... ./internal/serve/... ./internal/nn/... ./internal/tensor/... ./internal/split/...
 	$(GO) test -race -short -count=1 ./internal/bench/...
 
 bench:
@@ -82,12 +82,21 @@ bench-cache:
 bench-fleet:
 	$(GO) run ./cmd/teamnet-bench -fleet -out BENCH_fleet.json
 
-# Regression gate: re-run the throughput, serving, demand-shaping, fleet and
-# forward benchmarks with the committed BENCH_*.json configurations and
-# fail on >20% goodput/QPS/rows-per-sec loss, >20% p99 growth, any snapshot
-# forward allocation, a cache speedup collapse, a fleet scaling collapse, or
-# any hot-swap failure/stale entry. A shorter re-run window keeps the wire
-# benchmarks CI-sized.
+# Partial-offload planning sweep: the split planner against exact edgesim
+# cost models across three link profiles (campus WiFi, congested uplink,
+# LoRa-class trickle). Deterministic and analytic — milliseconds, no wall
+# clock. Exits non-zero if the auto plan fails to walk through >= 3 distinct
+# split points or loses to a static endpoint past the 5% floor (DESIGN.md
+# §13).
+bench-split:
+	$(GO) run ./cmd/teamnet-bench -split -out BENCH_split.json
+
+# Regression gate: re-run the throughput, serving, demand-shaping, fleet,
+# split-planning and forward benchmarks with the committed BENCH_*.json
+# configurations and fail on >20% goodput/QPS/rows-per-sec loss, >20% p99
+# growth, any snapshot forward allocation, a cache speedup collapse, a fleet
+# scaling collapse, any hot-swap failure/stale entry, or a split-plan drift.
+# A shorter re-run window keeps the wire benchmarks CI-sized.
 bench-check:
 	$(GO) run ./cmd/teamnet-bench -check -check-duration 2s
 

@@ -14,8 +14,9 @@
 // demand shaping off and on over a Zipf-skewed workload (§11); -soak
 // drills the SLO-defense layer through a scripted fault timeline; -fleet
 // scales gateway/master pairs across the serving fabric and hot-swaps the
-// model mid-run (§12); and -check re-runs the committed BENCH_*.json
-// configurations as a regression gate.
+// model mid-run (§12); -split sweeps the partial-offload planner across
+// edgesim link profiles (§13); and -check re-runs the committed
+// BENCH_*.json configurations as a regression gate.
 //
 // Examples:
 //
@@ -95,12 +96,16 @@ func run() error {
 		fleetScales   = flag.String("fleet-scales", "1,2,4", "fleet: comma-separated pair counts, ascending")
 		fleetWorkers  = flag.Int("fleet-workers", 2, "fleet: workers per master, each behind its own chaos proxy")
 
+		splitBench = flag.Bool("split", false, "run the partial-offload planning sweep: the split planner across edgesim link profiles")
+		splitBatch = flag.Int("split-batch", 1, "split: rows per query")
+
 		check    = flag.Bool("check", false, "re-run benchmarks with committed configs and fail on >tolerance regression")
 		checkTp  = flag.String("check-throughput", "BENCH_throughput.json", "check: committed throughput artifact (\"\" skips)")
 		checkSv  = flag.String("check-serve", "BENCH_serve.json", "check: committed serve artifact (\"\" skips)")
 		checkFw  = flag.String("check-forward", "BENCH_forward.json", "check: committed forward artifact (\"\" skips)")
 		checkCa  = flag.String("check-cache", "BENCH_cache.json", "check: committed demand-shaping artifact (\"\" skips)")
 		checkFl  = flag.String("check-fleet", "BENCH_fleet.json", "check: committed fleet artifact (\"\" skips)")
+		checkSp  = flag.String("check-split", "BENCH_split.json", "check: committed split-planning artifact (\"\" skips)")
 		checkDur = flag.Duration("check-duration", 0, "check: re-run window per mode (0 = the committed window)")
 		checkTol = flag.Float64("check-tolerance", bench.CheckTolerance, "check: allowed relative regression")
 	)
@@ -191,6 +196,10 @@ func run() error {
 		}, *out)
 	}
 
+	if *splitBench {
+		return runSplitBench(bench.SplitBenchConfig{Batch: *splitBatch}, *out)
+	}
+
 	if *check {
 		return runBenchCheck(bench.CheckConfig{
 			ThroughputPath: *checkTp,
@@ -198,6 +207,7 @@ func run() error {
 			ForwardPath:    *checkFw,
 			CachePath:      *checkCa,
 			FleetPath:      *checkFl,
+			SplitPath:      *checkSp,
 			Duration:       *checkDur,
 			Tolerance:      *checkTol,
 		})
@@ -343,6 +353,26 @@ func runFleet(cfg bench.FleetConfig, out string) error {
 		if s.Swap.Version == "" {
 			return fmt.Errorf("fleet: version disagreement after the hot-swap at %d pairs", s.Pairs)
 		}
+	}
+	return nil
+}
+
+// runSplitBench runs the analytic split-planning sweep, records the
+// artifact, and fails the process when the planner misses its acceptance
+// bar: fewer than three distinct auto split points across the link
+// profiles, or an auto plan losing to a static endpoint past the floor.
+func runSplitBench(cfg bench.SplitBenchConfig, out string) error {
+	report, err := bench.RunSplitBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	if err := writeReport(report, out); err != nil {
+		return err
+	}
+	if !report.Pass {
+		return fmt.Errorf("split: auto planner chose %d distinct split points or lost to an endpoint past the %.0f%% floor",
+			report.DistinctAutoSplits, bench.SplitGateFloor*100)
 	}
 	return nil
 }

@@ -12,17 +12,26 @@
 //
 //	teamnet-infer -elect -id 9 -peers 127.0.0.1:7001,127.0.0.1:7002
 //
+// -split turns on partial offload (DESIGN.md §13): the local expert runs
+// the head of the network, the intermediate activation ships to a peer for
+// the tail. "auto" lets the online planner pick the split point per query;
+// an integer pins it. The planner's live candidate table is served at
+// /splitplan when -admin is set.
+//
 // -trace prints a span tree per query — the paper's compute vs. transfer
 // split, observed live — and -admin serves /healthz, /metrics, /traces,
 // and pprof over HTTP while the run lasts (docs/OPERATIONS.md).
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -55,6 +64,7 @@ func run() error {
 		elect    = flag.Bool("elect", false, "run leader election and exit")
 		id       = flag.Int("id", 0, "this node's election identity")
 
+		splitMode  = flag.String("split", "off", "partial offload: off, auto (planner-chosen split point), or a fixed layer index")
 		bestEffort = flag.Bool("best-effort", false, "route around failed/quarantined peers instead of failing the query")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-peer round-trip deadline (0 = none)")
 		retries    = flag.Int("retries", 1, "per-request retry budget for transient peer errors")
@@ -63,6 +73,19 @@ func run() error {
 		adminAddr  = flag.String("admin", "", "serve the HTTP admin endpoint (/healthz, /metrics, /traces, pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
+
+	splitOn, splitAt := false, 0
+	switch *splitMode {
+	case "off":
+	case "auto":
+		splitOn, splitAt = true, cluster.SplitAuto
+	default:
+		n, err := strconv.Atoi(*splitMode)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad -split %q (off, auto, or a layer index)", *splitMode)
+		}
+		splitOn, splitAt = true, n
+	}
 
 	peerAddrs := cli.SplitList(*peers)
 	if *elect {
@@ -74,12 +97,11 @@ func run() error {
 		return nil
 	}
 
-	f, err := os.Open(*teamPath)
+	raw, err := os.ReadFile(*teamPath)
 	if err != nil {
 		return fmt.Errorf("open bundle: %w", err)
 	}
-	team, err := core.LoadTeam(f)
-	f.Close()
+	team, err := core.LoadTeam(bytes.NewReader(raw))
 	if err != nil {
 		return fmt.Errorf("load bundle: %w", err)
 	}
@@ -95,6 +117,26 @@ func run() error {
 	defer master.Close()
 	master.SetTimeout(*timeout)
 	master.SetSupervisor(cluster.SupervisorConfig{MaxRetries: *retries})
+	// Same expert-scoped label teamnet-node serves under: split requests
+	// pin on version equality, so the split tail only runs on a peer
+	// serving the *same expert* (a replica); a peer serving a different
+	// expert of the team mismatches and the query degrades to whole-query
+	// offload instead of finishing the head on the wrong model's tail.
+	version := fmt.Sprintf("%x", sha256.Sum256(raw))[:16]
+	if *local >= 0 {
+		version += fmt.Sprintf("/e%d", *local)
+	}
+	master.SetModelVersion(version)
+	if splitOn {
+		if localExpert == nil {
+			return fmt.Errorf("-split needs -local: the head of the network runs on the local expert")
+		}
+		if splitAt == cluster.SplitAuto {
+			if err := master.EnableSplit(2 * time.Second); err != nil {
+				return err
+			}
+		}
+	}
 	if *traceOn || *adminAddr != "" {
 		master.SetTracer(trace.New("master", 0))
 	}
@@ -116,6 +158,9 @@ func run() error {
 		adm.AddGauges(master.Gauges())
 		adm.AddHistograms(master.Histograms())
 		adm.TracerFunc(master.Tracer)
+		// Live planner candidate table (JSON null until EnableSplit has a
+		// planner and a profile to report).
+		adm.JSONFunc("/splitplan", func() any { return master.SplitPlanReport(1) })
 		bound, err := adm.Listen(*adminAddr)
 		if err != nil {
 			return err
@@ -127,7 +172,7 @@ func run() error {
 			adm.Shutdown(ctx)
 			cancel()
 		}()
-		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /debug/pprof/)\n", bound)
+		fmt.Printf("admin endpoint on http://%s (/healthz /metrics /traces /splitplan /debug/pprof/)\n", bound)
 	}
 	for _, addr := range peerAddrs {
 		if err := master.Connect(addr); err != nil {
@@ -157,7 +202,9 @@ func run() error {
 
 	var lat metrics.Summary
 	winnerCount := make(map[int]int)
-	liveCount := make(map[int]int) // participating-node count → queries
+	liveCount := make(map[int]int)        // participating-node count → queries
+	splitCount := make(map[int]int)       // chosen split point → queries
+	fallbackCount := make(map[string]int) // split fallback reason → queries
 	allProbs := tensor.New(ds.Len(), ds.Classes)
 	for i := 0; i < ds.Len(); i++ {
 		x := ds.X.SelectRows([]int{i})
@@ -167,13 +214,24 @@ func run() error {
 			winners []int
 			err     error
 		)
-		if *bestEffort {
+		switch {
+		case splitOn:
+			var res cluster.SplitResult
+			res, err = master.InferSplitContext(ctx, x, splitAt)
+			if err == nil {
+				probs = res.Probs
+				splitCount[res.Split]++
+				if res.Fallback != "" {
+					fallbackCount[res.Fallback]++
+				}
+			}
+		case *bestEffort:
 			var live int
 			probs, winners, live, err = master.InferBestEffortContext(ctx, x)
 			if err == nil {
 				liveCount[live]++
 			}
-		} else {
+		default:
 			probs, winners, err = master.InferContext(ctx, x)
 		}
 		if err != nil {
@@ -191,7 +249,9 @@ func run() error {
 			}
 		}
 		copy(allProbs.RowSlice(i), probs.RowSlice(0))
-		winnerCount[winners[0]]++
+		if len(winners) > 0 {
+			winnerCount[winners[0]]++
+		}
 	}
 	eval, err := core.Evaluate(allProbs, ds.Y, ds.ClassNames)
 	if err != nil {
@@ -199,7 +259,14 @@ func run() error {
 	}
 	fmt.Print(eval)
 	fmt.Printf("latency: %s\n", lat.String())
-	fmt.Printf("winning node histogram: %v\n", winnerCount)
+	if splitOn {
+		fmt.Printf("split point histogram: %v\n", splitCount)
+		if len(fallbackCount) > 0 {
+			fmt.Printf("split fallback histogram: %v\n", fallbackCount)
+		}
+	} else {
+		fmt.Printf("winning node histogram: %v\n", winnerCount)
+	}
 	if *bestEffort {
 		fmt.Printf("live node histogram: %v\n", liveCount)
 	}

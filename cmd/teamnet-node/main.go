@@ -80,7 +80,11 @@ func run() error {
 	// weights — no replica cloning needed. The bundle's content hash labels
 	// the served model until a versioned push hot-swaps it (DESIGN.md §12).
 	worker := cluster.NewWorker(team.Experts[*expert], *id)
-	worker.SetModelVersion(fmt.Sprintf("%x", sha256.Sum256(raw))[:16])
+	// The label scopes the bundle hash by expert index: experts share a
+	// bundle but are different models, and split-tail requests (DESIGN.md
+	// §13) pin on this label — without the suffix, a head computed on one
+	// expert could be finished by another expert's tail.
+	worker.SetModelVersion(fmt.Sprintf("%x", sha256.Sum256(raw))[:16] + fmt.Sprintf("/e%d", *expert))
 
 	var proxy *chaos.Proxy
 	addr := *listen

@@ -12,6 +12,9 @@
 //	               number of traces, ?id=<hex> selects one
 //	/debug/pprof/  the standard net/http/pprof profiles
 //
+// Roles can also publish extra live JSON views (the master's /splitplan,
+// for example) with JSONFunc before Listen.
+//
 // The server holds references, not copies: counters, histograms, and the
 // tracer are read live on every request, so a scrape always sees current
 // values. All sources are optional — an empty server still serves /healthz
@@ -44,6 +47,7 @@ type Server struct {
 	hists     []*metrics.HistogramSet
 	valueHist []*metrics.ValueHistogramSet
 	tracerFn  func() *trace.Tracer
+	jsonFns   map[string]func() any
 	srv       *http.Server
 	ln        net.Listener
 }
@@ -96,6 +100,19 @@ func (s *Server) TracerFunc(fn func() *trace.Tracer) {
 	s.mu.Unlock()
 }
 
+// JSONFunc registers an extra route: every request to path renders fn()'s
+// current result as indented JSON. fn is called per request, so the view is
+// always live. Unlike the metric sources, routes are fixed when Listen
+// builds the mux — call JSONFunc before Listen.
+func (s *Server) JSONFunc(path string, fn func() any) {
+	s.mu.Lock()
+	if s.jsonFns == nil {
+		s.jsonFns = map[string]func() any{}
+	}
+	s.jsonFns[path] = fn
+	s.mu.Unlock()
+}
+
 // Listen binds addr (use "127.0.0.1:0" in tests) and serves in the
 // background, returning the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -112,6 +129,16 @@ func (s *Server) Listen(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mu.Lock()
+	for path, fn := range s.jsonFns {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(fn())
+		})
+	}
+	s.mu.Unlock()
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.mu.Lock()
 	s.srv = srv

@@ -110,6 +110,39 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 }
 
+// TestAdminJSONFunc pins the extension-route hook: a registered path
+// renders fn()'s live result as JSON on every request.
+func TestAdminJSONFunc(t *testing.T) {
+	s := New()
+	calls := 0
+	s.JSONFunc("/splitplan", func() any {
+		calls++
+		return map[string]int{"calls": calls}
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + addr
+
+	for want := 1; want <= 2; want++ {
+		code, body := get(t, base+"/splitplan")
+		if code != http.StatusOK {
+			t.Fatalf("/splitplan code %d", code)
+		}
+		var got struct {
+			Calls int `json:"calls"`
+		}
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatalf("/splitplan not JSON: %v\n%s", err, body)
+		}
+		if got.Calls != want {
+			t.Fatalf("/splitplan call %d returned %d — view is not live", want, got.Calls)
+		}
+	}
+}
+
 func TestAdminHealthDegraded(t *testing.T) {
 	s := New()
 	s.HealthFunc(func() (bool, any) { return false, "peer quarantined" })

@@ -33,6 +33,7 @@ type CheckConfig struct {
 	ForwardPath    string        // committed BENCH_forward.json ("" skips)
 	CachePath      string        // committed BENCH_cache.json ("" skips)
 	FleetPath      string        // committed BENCH_fleet.json ("" skips)
+	SplitPath      string        // committed BENCH_split.json ("" skips)
 	Duration       time.Duration // re-run window per mode; 0 = the committed window
 	Tolerance      float64       // allowed relative regression; 0 = CheckTolerance
 }
@@ -257,6 +258,20 @@ func RunBenchCheck(cfg CheckConfig) (*CheckReport, error) {
 			return nil, fmt.Errorf("bench-check: fleet re-run: %w", err)
 		}
 		report.Results = append(report.Results, EvaluateFleetCheck(&committed, current, tol)...)
+	}
+
+	if cfg.SplitPath != "" {
+		var committed SplitReport
+		if err := readJSON(cfg.SplitPath, &committed); err != nil {
+			return nil, err
+		}
+		// The split sweep is analytic (no wall clock), so the committed
+		// configuration is just the batch size; cfg.Duration is irrelevant.
+		current, err := RunSplitBench(SplitBenchConfig{Batch: committed.Batch})
+		if err != nil {
+			return nil, fmt.Errorf("bench-check: split re-run: %w", err)
+		}
+		report.Results = append(report.Results, EvaluateSplitCheck(&committed, current, tol)...)
 	}
 
 	if cfg.ForwardPath != "" {

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestSplitBenchSmoke runs the full analytic sweep (fast — pure
+// arithmetic) and pins the acceptance structure: the auto planner matches
+// the exhaustive argmin on every link, walks through at least three
+// distinct split points across the profiles, beats or ties both degenerate
+// endpoints within the gate floor, and finds a genuinely interior cut on
+// the congested-uplink profile (the regime partial offload exists for).
+func TestSplitBenchSmoke(t *testing.T) {
+	r, err := RunSplitBench(SplitBenchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("sweep failed its own gate: %+v", r)
+	}
+	if r.DistinctAutoSplits < 3 {
+		t.Fatalf("auto split chose %d distinct points, want >= 3", r.DistinctAutoSplits)
+	}
+	n := r.Boundaries - 1
+	sawInterior := false
+	for _, l := range r.Links {
+		if l.AutoSplit != l.BestSplit {
+			t.Fatalf("link %s: auto chose %d, exhaustive argmin is %d", l.Name, l.AutoSplit, l.BestSplit)
+		}
+		if l.AutoMs != l.BestStaticMs {
+			t.Fatalf("link %s: auto cost %.4f != best static %.4f", l.Name, l.AutoMs, l.BestStaticMs)
+		}
+		best := min(l.WholeLocalMs, l.WholeRemoteMs)
+		if l.AutoMs > best*(1+SplitGateFloor) {
+			t.Fatalf("link %s: auto %.4fms loses to best endpoint %.4fms past the floor", l.Name, l.AutoMs, best)
+		}
+		if l.AutoSplit > 0 && l.AutoSplit < n {
+			sawInterior = true
+		}
+	}
+	if !sawInterior {
+		t.Fatal("no link profile produced an interior split — the sweep degenerated to the binary offload choice")
+	}
+	// The walk must be monotone in link quality: the faster the link, the
+	// earlier the cut.
+	byName := map[string]SplitLinkResult{}
+	for _, l := range r.Links {
+		byName[l.Name] = l
+	}
+	if !(byName["fast"].AutoSplit < byName["medium"].AutoSplit && byName["medium"].AutoSplit < byName["slow"].AutoSplit) {
+		t.Fatalf("split points not monotone across link quality: fast=%d medium=%d slow=%d",
+			byName["fast"].AutoSplit, byName["medium"].AutoSplit, byName["slow"].AutoSplit)
+	}
+	if byName["slow"].AutoSplit != n {
+		t.Fatalf("trickle link chose split %d, want whole-local %d", byName["slow"].AutoSplit, n)
+	}
+	if byName["fast"].AutoSplit != 0 {
+		t.Fatalf("fast link chose split %d, want whole-remote 0", byName["fast"].AutoSplit)
+	}
+}
+
+// TestSplitBenchDeterministic pins that the sweep is pure arithmetic: two
+// runs produce identical artifacts, which is what lets bench-check compare
+// against the committed artifact without tolerances doing the real work.
+func TestSplitBenchDeterministic(t *testing.T) {
+	a, err := RunSplitBench(SplitBenchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSplitBench(SplitBenchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("run-to-run drift on %s: %+v vs %+v", a.Links[i].Name, a.Links[i], b.Links[i])
+		}
+	}
+}
+
+// TestEvaluateSplitCheck pins the gate logic against hand-built reports.
+func TestEvaluateSplitCheck(t *testing.T) {
+	committed, err := RunSplitBench(SplitBenchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allPass := func(rs []CheckResult) bool {
+		for _, r := range rs {
+			if !r.Pass {
+				return false
+			}
+		}
+		return true
+	}
+	current, _ := RunSplitBench(SplitBenchConfig{})
+	if !allPass(EvaluateSplitCheck(committed, current, CheckTolerance)) {
+		t.Fatalf("identical re-run failed the gate: %+v", EvaluateSplitCheck(committed, current, CheckTolerance))
+	}
+
+	drifted, _ := RunSplitBench(SplitBenchConfig{})
+	drifted.Links[1].AutoSplit++
+	if allPass(EvaluateSplitCheck(committed, drifted, CheckTolerance)) {
+		t.Fatal("changed auto split passed the gate")
+	}
+
+	collapsed, _ := RunSplitBench(SplitBenchConfig{})
+	collapsed.DistinctAutoSplits = 2
+	if allPass(EvaluateSplitCheck(committed, collapsed, CheckTolerance)) {
+		t.Fatal("collapsed split diversity passed the gate")
+	}
+
+	slower, _ := RunSplitBench(SplitBenchConfig{})
+	slower.Links[0].AutoMs = committed.Links[0].AutoMs * 2
+	if allPass(EvaluateSplitCheck(committed, slower, CheckTolerance)) {
+		t.Fatal("2x latency regression passed the gate")
+	}
+
+	missing, _ := RunSplitBench(SplitBenchConfig{})
+	missing.Links = missing.Links[1:]
+	if allPass(EvaluateSplitCheck(committed, missing, CheckTolerance)) {
+		t.Fatal("dropped link profile passed the gate")
+	}
+}

@@ -61,12 +61,20 @@ func (m *Master) inferAdaptive(ctx context.Context, x *tensor.Tensor, entropyThr
 	if err := ctx.Err(); err != nil {
 		return AdaptiveResult{}, err
 	}
-	batch := x.Shape[0]
 	snap := m.local.Load()
 	if snap == nil {
 		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive inference requires a local expert")
 	}
 	local := m.localResult(snap, x, tr, root)
+	return m.escalateAbove(ctx, x, local, entropyThreshold, root)
+}
+
+// escalateAbove runs the entropy gate over a local answer and escalates the
+// uncertain rows to the full broadcast-gather protocol — the back half of
+// every adaptive variant (whole-local first answer or a split one, the gate
+// and escalation are identical).
+func (m *Master) escalateAbove(ctx context.Context, x *tensor.Tensor, local PredictResult, entropyThreshold float64, root trace.Context) (AdaptiveResult, error) {
+	batch := x.Shape[0]
 	res := AdaptiveResult{
 		Probs:     local.Probs.Clone(),
 		Escalated: make([]bool, batch),
@@ -102,11 +110,25 @@ func (m *Master) inferAdaptive(ctx context.Context, x *tensor.Tensor, entropyThr
 // EscalationRate evaluates how often a threshold escalates on a sample set
 // — the knob the latency/accuracy trade-off turns on.
 func (m *Master) EscalationRate(x *tensor.Tensor, entropyThreshold float64) (float64, error) {
+	return m.EscalationRateContext(context.Background(), x, entropyThreshold)
+}
+
+// EscalationRateContext is EscalationRate with cancellation plumbing: the
+// sweep over a large calibration set checks ctx before the forward pass and
+// again before reporting, so an operator tuning thresholds over many
+// candidate values can abandon the scan mid-way.
+func (m *Master) EscalationRateContext(ctx context.Context, x *tensor.Tensor, entropyThreshold float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	snap := m.local.Load()
 	if snap == nil {
 		return 0, fmt.Errorf("cluster: escalation rate requires a local expert")
 	}
 	_, ent := snap.PredictWithEntropy(x)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	n := 0
 	for _, h := range ent.Data {
 		if h > entropyThreshold {

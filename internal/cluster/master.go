@@ -11,6 +11,7 @@ import (
 
 	"github.com/teamnet/teamnet/internal/metrics"
 	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/split"
 	"github.com/teamnet/teamnet/internal/tensor"
 	"github.com/teamnet/teamnet/internal/trace"
 	"github.com/teamnet/teamnet/internal/transport"
@@ -63,13 +64,16 @@ type Master struct {
 	hedge    *hedgeRef
 	budget   *budgetRef
 
-	mu      sync.Mutex
-	timeout time.Duration // per-round-trip deadline; 0 = none
-	sup     SupervisorConfig
-	muxOff  bool // SetMux(false): force the serial one-in-flight protocol
-	peers   []*peerConn
-	done    chan struct{} // closed by Close; stops retries and probes
-	closed  bool
+	mu        sync.Mutex
+	timeout   time.Duration // per-round-trip deadline; 0 = none
+	sup       SupervisorConfig
+	muxOff    bool // SetMux(false): force the serial one-in-flight protocol
+	peers     []*peerConn
+	done      chan struct{} // closed by Close; stops retries and probes
+	closed    bool
+	version   string         // local expert's version label (split pinning)
+	splitPl   *split.Planner // partial-offload planner; nil until EnableSplit
+	splitOpts split.Options  // options the planner was built with (re-profiling)
 
 	probeWG sync.WaitGroup // background probe loops
 }

@@ -167,6 +167,26 @@ func (s *MasterServer) serveConn(conn net.Conn) {
 				}()
 				s.serveFabricPredict(cw, id, body)
 			}()
+		case MsgSplitPredict:
+			s.master.Counters().Counter("fabric.requests.split").Inc()
+			id, body, err := splitMuxID(payload)
+			if err != nil {
+				_ = cw.write(MsgError, []byte(err.Error()))
+				return
+			}
+			sem <- struct{}{}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() { <-sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						s.master.Counters().Counter("fabric.panics_recovered").Inc()
+						conn.Close()
+					}
+				}()
+				s.serveSplitPredict(cw, id, body)
+			}()
 		case MsgPing:
 			if err := cw.write(MsgPong, nil); err != nil {
 				return
@@ -222,6 +242,23 @@ func (s *MasterServer) serveFabricPredict(cw *connWriter, id uint32, body []byte
 		return
 	}
 	_ = cw.write(MsgFabricResult, appendMuxID(id, encodeFabricResult(probs, winners, live, total)))
+}
+
+// serveSplitPredict answers one partial-offload tail against the master's
+// local expert snapshot, sharing the worker's serving body (version check,
+// recovered range execution, full-precision result).
+func (s *MasterServer) serveSplitPredict(cw *connWriter, id uint32, body []byte) {
+	snap := s.master.LocalSnapshot()
+	if snap == nil {
+		_ = cw.write(MsgErrorMux, appendMuxID(id, []byte("master has no local expert for split serving")))
+		return
+	}
+	result, errText := runSplitBody(snap, s.ModelVersion(), body, s.master.tracer, s.master.Histograms())
+	if errText != "" {
+		_ = cw.write(MsgErrorMux, appendMuxID(id, []byte(errText)))
+		return
+	}
+	_ = cw.write(MsgSplitResult, appendMuxID(id, result))
 }
 
 func (s *MasterServer) dispatch(ctx context.Context, mode byte, softNs uint64, x *tensor.Tensor) (probs *tensor.Tensor, winners []int, live, total int, err error) {

@@ -62,6 +62,10 @@ type Roster struct {
 type rosterEntry struct {
 	m    Member
 	seen time.Time
+	// direct marks a first-hand entry: the member itself announced, rather
+	// than a third node gossiping about it. First-hand data outranks gossip
+	// — see Merge.
+	direct bool
 }
 
 // NewRoster returns an empty roster.
@@ -69,21 +73,47 @@ func NewRoster() *Roster {
 	return &Roster{entries: make(map[string]rosterEntry)}
 }
 
-// Upsert records (or refreshes) one member. Members without an address are
-// not tracked — there is nothing to route to or gossip about.
+// Upsert records (or refreshes) one member from a first-hand announcement
+// — the member itself spoke, so its descriptor (in particular Version) is
+// authoritative and unconditionally replaces whatever the roster held.
+// This is what makes re-admission after a TTL expiry clean: a node that
+// crashed, aged out, and came back under a new model version is live again
+// with the new version the moment it re-announces, regardless of what
+// stale gossip said meanwhile. Members without an address are not tracked —
+// there is nothing to route to or gossip about.
 func (r *Roster) Upsert(m Member) {
 	if m.Addr == "" {
 		return
 	}
 	r.mu.Lock()
-	r.entries[m.key()] = rosterEntry{m: m, seen: time.Now()}
+	r.entries[m.key()] = rosterEntry{m: m, seen: time.Now(), direct: true}
 	r.mu.Unlock()
 }
 
-// Merge upserts a batch (one side of an announce exchange).
+// Merge folds in a gossip sample (the Known half of an announce exchange).
+// Gossip is second-hand and carries no timestamps, so it ranks below
+// first-hand data: it may introduce members this node has never met and
+// refresh or update entries that were themselves learned from gossip, but
+// it never rewrites a first-hand entry with different data — a stale echo
+// of a member's pre-crash descriptor must not clobber (or keep refreshing)
+// the descriptor the re-admitted member announced itself.
 func (r *Roster) Merge(ms []Member) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, m := range ms {
-		r.Upsert(m)
+		if m.Addr == "" {
+			continue
+		}
+		k := m.key()
+		if e, ok := r.entries[k]; ok && e.direct {
+			if e.m != m {
+				continue // stale echo about a member we know first-hand
+			}
+			e.seen = time.Now()
+			r.entries[k] = e // confirming echo refreshes without demoting
+			continue
+		}
+		r.entries[k] = rosterEntry{m: m, seen: time.Now()}
 	}
 }
 

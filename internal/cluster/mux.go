@@ -82,6 +82,7 @@ type muxClient struct {
 }
 
 type muxWrite struct {
+	typ     byte
 	id      uint32
 	payload []byte
 }
@@ -169,7 +170,7 @@ func (mc *muxClient) writeLoop() {
 	for {
 		select {
 		case w := <-mc.writeCh:
-			if err := transport.WriteFrame(mc.conn, mc.reqType, appendMuxID(w.id, w.payload)); err != nil {
+			if err := transport.WriteFrame(mc.conn, w.typ, appendMuxID(w.id, w.payload)); err != nil {
 				mc.fail(fmt.Errorf("cluster: mux write: %w", err))
 				return
 			}
@@ -203,7 +204,7 @@ func (mc *muxClient) readLoop() {
 			return
 		}
 		switch typ {
-		case mc.resType, MsgErrorMux:
+		case mc.resType, MsgSplitResult, MsgErrorMux:
 			id, rest, perr := splitMuxID(payload)
 			if perr != nil {
 				mc.fail(perr)
@@ -275,6 +276,14 @@ func (mc *muxClient) unregister(id uint32) {
 // them all, so it is torn down (and the breaker fed once) like any other
 // link fault, mirroring the serial path's conn drop.
 func (mc *muxClient) roundTrip(ctx context.Context, payload []byte, timeout time.Duration, done <-chan struct{}) (muxReply, time.Duration, error) {
+	return mc.roundTripTyped(ctx, mc.reqType, payload, timeout, done)
+}
+
+// roundTripTyped is roundTrip with an explicit request frame type, so
+// secondary request kinds (MsgSplitPredict) share a link's pipeline, window
+// and failure semantics with its primary traffic instead of opening a
+// second connection per peer.
+func (mc *muxClient) roundTripTyped(ctx context.Context, reqType byte, payload []byte, timeout time.Duration, done <-chan struct{}) (muxReply, time.Duration, error) {
 	var timer *time.Timer
 	var timeoutCh <-chan time.Time
 	if timeout > 0 {
@@ -312,7 +321,7 @@ func (mc *muxClient) roundTrip(ctx context.Context, payload []byte, timeout time
 	}
 	start := time.Now()
 	select {
-	case mc.writeCh <- muxWrite{id: id, payload: payload}:
+	case mc.writeCh <- muxWrite{typ: reqType, id: id, payload: payload}:
 	case <-mc.downCh:
 		mc.unregister(id)
 		return muxReply{}, 0, mc.downError()

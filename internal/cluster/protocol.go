@@ -74,6 +74,15 @@ const (
 	// expert's probabilities + entropies (see masterserver.go).
 	MsgFabricPredict
 	MsgFabricResult
+	// MsgSplitPredict / MsgSplitResult are the partial-offload frames: the
+	// master runs the head of the network locally and ships the intermediate
+	// activation (full float64 precision — the split contract is bit-identity
+	// with the local forward) plus the split index and expected model
+	// version; the peer finishes the tail from its atomic snapshot pointer.
+	// Mux-pipelined like MsgPredictMux and answered on the same link
+	// (MsgSplitResult / MsgErrorMux; see splitwire.go and DESIGN.md §13).
+	MsgSplitPredict
+	MsgSplitResult
 )
 
 // muxIDSize is the request-id prefix every mux payload carries.

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/split"
+	"github.com/teamnet/teamnet/internal/tensor"
+	"github.com/teamnet/teamnet/internal/trace"
+)
+
+// Partial offload on the master (DESIGN.md §13): run the head of the local
+// expert here, ship the boundary activation to a peer, let the peer finish
+// the tail from its own snapshot. The split point comes from an
+// internal/split planner fed three live signals — local head timings, peer
+// self-timed tail compute, and round-trip-minus-compute link cost — plus
+// the static per-boundary FLOP/width profile; whole-local and whole-remote
+// are ordinary candidates, so `-split auto` strictly subsumes the binary
+// offload choice. Offload failures degrade, never fail the query: a
+// version-mismatched peer (mid-rollout fleet) gets the whole query instead
+// (valid against any version), a transport fault finishes the tail
+// locally, and no peer at all means a plain local forward.
+
+// SplitResult reports one partial-offload inference. When Fallback is
+// empty the answer is bit-identical to the local expert's full forward (the
+// range-execution contract); a "version" fallback carries the PEER's
+// whole-query answer instead.
+type SplitResult struct {
+	Probs   *tensor.Tensor
+	Entropy []float64
+	// Split is the boundary actually executed (Steps() = fully local).
+	Split int
+	// Peer is the node that ran the tail ("" = finished locally).
+	Peer string
+	// Fallback names the degradation taken, if any: "version" (peer on a
+	// different model version → whole-query offload), "transport" (peer
+	// unreachable mid-query → tail finished locally), "no_peer" (no
+	// available peer → ran fully local).
+	Fallback string
+}
+
+// SetModelVersion labels the master's local expert version; split requests
+// pin it so a peer serving a different version refuses the tail.
+func (m *Master) SetModelVersion(v string) {
+	m.mu.Lock()
+	m.version = v
+	m.mu.Unlock()
+}
+
+// ModelVersion returns the local expert's version label.
+func (m *Master) ModelVersion() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// LocalSnapshot returns the master's current local expert snapshot (nil
+// for a pure coordinator).
+func (m *Master) LocalSnapshot() *nn.Snapshot { return m.local.Load() }
+
+// EnableSplit profiles the local expert and installs the online split
+// planner, re-planned at most every replan (0 = the planner default).
+// Required before InferSplit with `at` = SplitAuto. Call again after
+// swapping the local expert; a stale profile is also detected and
+// re-profiled automatically on the next auto query.
+func (m *Master) EnableSplit(replan time.Duration) error {
+	snap := m.local.Load()
+	if snap == nil {
+		return fmt.Errorf("cluster: split planning requires a local expert")
+	}
+	version := m.ModelVersion()
+	classes := m.classes
+	opts := split.Options{
+		Replan: replan,
+		WireBytes: func(batch, width int) int {
+			return SplitRequestWireBytes(batch, width, len(version)) + SplitResultWireBytes(batch, classes)
+		},
+	}
+	m.mu.Lock()
+	m.splitOpts = opts
+	m.splitPl = split.New(split.NewProfile(snap), opts)
+	m.mu.Unlock()
+	return nil
+}
+
+// splitPlannerFor returns the installed planner, re-profiling it when the
+// local snapshot changed shape since EnableSplit (a hot-swap mid-rollout);
+// nil when EnableSplit was never called.
+func (m *Master) splitPlannerFor(snap *nn.Snapshot) *split.Planner {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.splitPl == nil {
+		return nil
+	}
+	prof := m.splitPl.Profile()
+	if prof.Steps() != snap.Steps() || prof.Model != snap.Label() {
+		m.counters.Counter("split.reprofiled").Inc()
+		m.splitPl = split.New(split.NewProfile(snap), m.splitOpts)
+	}
+	return m.splitPl
+}
+
+// SplitPlanReport returns the planner's full candidate cost table for a
+// batch size (the /splitplan admin view), or nil before EnableSplit.
+func (m *Master) SplitPlanReport(batch int) *split.Report {
+	snap := m.local.Load()
+	if snap == nil {
+		return nil
+	}
+	pl := m.splitPlannerFor(snap)
+	if pl == nil {
+		return nil
+	}
+	r := pl.Report(batch)
+	return &r
+}
+
+// SplitAuto asks InferSplit to let the planner choose the boundary.
+const SplitAuto = -1
+
+// InferSplit answers one batch through the partial-offload path: head
+// locally, activation to a peer, tail remotely. at pins a static boundary
+// (0 = whole-remote, Steps() = whole-local); SplitAuto defers to the
+// planner installed by EnableSplit. Requires a local expert.
+func (m *Master) InferSplit(x *tensor.Tensor, at int) (SplitResult, error) {
+	return m.InferSplitContext(context.Background(), x, at)
+}
+
+// InferSplitContext is InferSplit with deadline/cancellation plumbing (see
+// InferContext). The query records an "infer.split" span with the head,
+// peer round trip and any fallback as children; counters split.queries,
+// split.local, split.remote, split.explore and split.fallback.* make the
+// offload mix visible on /metrics, and the split.point gauge reports the
+// last boundary executed.
+func (m *Master) InferSplitContext(ctx context.Context, x *tensor.Tensor, at int) (SplitResult, error) {
+	snap := m.local.Load()
+	if snap == nil {
+		return SplitResult{}, fmt.Errorf("cluster: split inference requires a local expert")
+	}
+	tr := m.tracer.get()
+	root := tr.Start(trace.FromContext(ctx), "infer.split")
+	start := time.Now()
+	res, err := m.inferSplit(ctx, x, at, snap, tr, root.Ctx())
+	root.EndErr(err)
+	m.hists.Observe("infer.split.total", time.Since(start))
+	return res, err
+}
+
+func (m *Master) inferSplit(ctx context.Context, x *tensor.Tensor, at int, snap *nn.Snapshot, tr *trace.Tracer, root trace.Context) (SplitResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SplitResult{}, err
+	}
+	n := snap.Steps()
+	batch := x.Shape[0]
+	m.counters.Counter("split.queries").Inc()
+
+	var pl *split.Planner
+	peerAddr := ""
+	switch {
+	case at == SplitAuto:
+		pl = m.splitPlannerFor(snap)
+		if pl == nil {
+			return SplitResult{}, fmt.Errorf("cluster: auto split requires EnableSplit")
+		}
+		m.seedSplitPlanner(pl, batch)
+		d := pl.Decide(batch)
+		at, peerAddr = d.Split, d.Peer
+		if d.Explore {
+			m.counters.Counter("split.explore").Inc()
+		}
+	case at < 0 || at > n:
+		return SplitResult{}, fmt.Errorf("cluster: split index %d outside 0..%d", at, n)
+	default:
+		pl = m.splitPlannerFor(snap) // may be nil: static splits observe only if enabled
+	}
+	m.gauges.Gauge("split.point").Set(int64(at))
+
+	// Head: steps [0, at) on the local snapshot. The boundary FLOPs feed the
+	// planner's local compute fit.
+	act := x
+	if at > 0 {
+		headStart := time.Now()
+		act = snap.ForwardRange(x, 0, at)
+		d := time.Since(headStart)
+		m.hists.Observe("split.head", d)
+		tr.Record(root, "split.head", "", "", headStart, d)
+		if pl != nil {
+			pl.ObserveLocal(pl.Profile().Boundaries[at].HeadFLOPs*float64(batch), d)
+		}
+	}
+	if at == n {
+		m.counters.Counter("split.local").Inc()
+		return m.splitAnswerLocal(act, at, "", tr, root), nil
+	}
+
+	p := m.splitPeer(peerAddr)
+	if p == nil {
+		m.counters.Counter("split.fallback.no_peer").Inc()
+		res := m.finishSplitLocally(snap, act, at, tr, root)
+		res.Fallback = "no_peer"
+		return res, nil
+	}
+
+	payload := appendTraceContext(EncodeSplitRequest(SplitRequest{
+		Version: m.ModelVersion(), Split: at, X: act,
+	}), root)
+	res, rtt, compute, err := p.doSplit(ctx, payload, root)
+	if err == nil {
+		m.counters.Counter("split.remote").Inc()
+		if pl != nil {
+			net := rtt - compute
+			if net < 0 {
+				net = 0
+			}
+			wire := len(payload) + SplitResultWireBytes(batch, m.classes)
+			pl.ObservePeer(p.addr, pl.Profile().Boundaries[at].TailFLOPs*float64(batch), compute, wire, net)
+		}
+		return SplitResult{Probs: res.Probs, Entropy: res.Entropy, Split: at, Peer: p.addr}, nil
+	}
+	if ctx.Err() != nil {
+		return SplitResult{}, ctx.Err()
+	}
+	if errors.Is(err, ErrSplitVersionMismatch) {
+		// Mid-rollout fleet: the peer serves a different model version, so a
+		// tail there would answer with the wrong weights. Degrade to
+		// whole-query offload — the raw input is valid against any version.
+		m.counters.Counter("split.fallback.version").Inc()
+		if qres, qerr := p.do(ctx, m.encodeInput(x, tr, root), root); qerr == nil {
+			return SplitResult{Probs: qres.Probs, Entropy: qres.Entropy, Split: 0, Peer: p.addr, Fallback: "version"}, nil
+		} else if ctx.Err() != nil {
+			return SplitResult{}, ctx.Err()
+		}
+		// The whole-query retry failed too: same local recovery as any
+		// transport fault.
+	}
+	// Transport fault (link death, quarantine race, pre-mux peer): we still
+	// hold the activation, so the query costs a local tail, never an error.
+	m.counters.Counter("split.fallback.transport").Inc()
+	res2 := m.finishSplitLocally(snap, act, at, tr, root)
+	res2.Fallback = "transport"
+	return res2, nil
+}
+
+// splitPeer resolves the peer to offload to: the planner's choice when it
+// named one, else the first available peer (static splits), else nil.
+func (m *Master) splitPeer(addr string) *peerConn {
+	var fallback *peerConn
+	for _, p := range m.snapshotPeers() {
+		if !p.available() {
+			continue
+		}
+		if p.addr == addr {
+			return p
+		}
+		if fallback == nil {
+			fallback = p
+		}
+	}
+	if addr != "" {
+		// The planned peer vanished; any available peer beats failing.
+		return fallback
+	}
+	return fallback
+}
+
+// splitAnswerLocal turns a completed local forward (act = logits at
+// boundary n) into a SplitResult with exactly PredictWithEntropy's
+// operations, preserving bit-identity.
+func (m *Master) splitAnswerLocal(logits *tensor.Tensor, at int, fallback string, tr *trace.Tracer, root trace.Context) SplitResult {
+	probs := logits.Clone()
+	tensor.SoftmaxRowsInto(probs.Data, probs.Data, probs.Shape[0], probs.Shape[1])
+	ent := tensor.EntropyRows(probs)
+	return SplitResult{Probs: probs, Entropy: ent.Data, Split: at, Fallback: fallback}
+}
+
+// finishSplitLocally runs the tail [at, Steps) on the local snapshot — the
+// transport-fault recovery path, bit-identical to having never offloaded.
+func (m *Master) finishSplitLocally(snap *nn.Snapshot, act *tensor.Tensor, at int, tr *trace.Tracer, root trace.Context) SplitResult {
+	start := time.Now()
+	t := snap.ForwardRange(act, at, snap.Steps())
+	tensor.SoftmaxRowsInto(t.Data, t.Data, t.Shape[0], t.Shape[1])
+	ent := tensor.EntropyRows(t)
+	d := time.Since(start)
+	m.hists.Observe("split.tail.local", d)
+	tr.Record(root, "split.tail.local", "", "", start, d)
+	return SplitResult{Probs: t, Entropy: ent.Data, Split: at}
+}
+
+// seedSplitPlanner primes unmeasured peers from the whole-query trace
+// histograms the supervisor already records — a peer that has served
+// ordinary offload traffic starts with a realistic cost model instead of a
+// cold probe. SeedPeer ignores peers with real split measurements.
+func (m *Master) seedSplitPlanner(pl *split.Planner, batch int) {
+	prof := pl.Profile()
+	inputWidth := prof.Boundaries[0].Width
+	if inputWidth < 0 {
+		return
+	}
+	names := make(map[string]bool)
+	for _, n := range m.hists.Names() {
+		names[n] = true
+	}
+	for _, p := range m.snapshotPeers() {
+		pl.EnsurePeer(p.addr) // visible to the probe scan even with no data
+		rttName := "peer." + p.addr + ".rtt"
+		compName := "peer." + p.addr + ".compute"
+		if !names[rttName] || !names[compName] {
+			continue
+		}
+		rttH := m.hists.Histogram(rttName)
+		compH := m.hists.Histogram(compName)
+		if rttH.Count() == 0 || compH.Count() == 0 {
+			continue
+		}
+		rtt := rttH.Quantile(0.5)
+		comp := compH.Quantile(0.5)
+		net := rtt - comp
+		if net < 0 {
+			net = 0
+		}
+		wire := InputWireBytes(batch, inputWidth) + ResultWireBytes(batch, m.classes)
+		pl.SeedPeer(p.addr, prof.TotalFLOPs*float64(batch), comp, wire, net)
+	}
+}
+
+// InferAdaptiveSplitContext composes the two escalation tiers: the first
+// answer comes from the partial-offload path (planner-chosen split) instead
+// of a purely local forward, then the usual entropy gate escalates
+// uncertain rows to the full broadcast-gather ensemble. Since the split
+// answer is bit-identical to the local expert (or, under a version
+// fallback, a whole-model answer from a peer), the gate semantics match
+// InferAdaptiveContext exactly.
+func (m *Master) InferAdaptiveSplitContext(ctx context.Context, x *tensor.Tensor, entropyThreshold float64) (AdaptiveResult, error) {
+	snap := m.local.Load()
+	if snap == nil {
+		return AdaptiveResult{}, fmt.Errorf("cluster: adaptive split inference requires a local expert")
+	}
+	tr := m.tracer.get()
+	root := tr.Start(trace.FromContext(ctx), "infer.adaptive")
+	start := time.Now()
+	res, err := m.inferAdaptiveSplit(ctx, x, entropyThreshold, snap, tr, root.Ctx())
+	root.EndErr(err)
+	m.hists.Observe("infer.adaptive.total", time.Since(start))
+	return res, err
+}
+
+func (m *Master) inferAdaptiveSplit(ctx context.Context, x *tensor.Tensor, entropyThreshold float64, snap *nn.Snapshot, tr *trace.Tracer, root trace.Context) (AdaptiveResult, error) {
+	sres, err := m.inferSplit(ctx, x, SplitAuto, snap, tr, root)
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	return m.escalateAbove(ctx, x, PredictResult{Probs: sres.Probs, Entropy: sres.Entropy}, entropyThreshold, root)
+}
+
+// doSplit performs one partial-offload round trip on the peer's mux
+// pipeline. Unlike do it never retries or hedges — the caller holds the
+// activation and can always finish locally, so a failed attempt is better
+// spent there than on speculative wire traffic. Requires the mux protocol
+// (split frames have no serial variant); a pre-mux peer yields
+// errMuxUnsupported and the caller recovers locally.
+func (p *peerConn) doSplit(ctx context.Context, payload []byte, parent trace.Context) (res PredictResult, rtt, compute time.Duration, err error) {
+	cfg := p.config()
+	tr := p.tracer()
+	if !p.available() {
+		tr.Record(parent, "peer "+p.addr, "", trace.StatusSkipped, time.Now(), 0)
+		return PredictResult{}, 0, 0, errPeerQuarantined{addr: p.addr, state: p.State()}
+	}
+	if !p.muxEligible() {
+		return PredictResult{}, 0, 0, errMuxUnsupported
+	}
+	done, stop := joinDone(ctx, p.done)
+	defer stop()
+	sp := tr.Start(parent, "peer "+p.addr)
+	res, rtt, compute, err = p.splitOnce(ctx, done, cfg, payload)
+	sp.EndErr(err)
+	return res, rtt, compute, err
+}
+
+// splitOnce mirrors muxOnce's outcome accounting: a caller abort feeds no
+// breaker, a link fault is counted once by the link-down hook, a worker
+// error frame is the peer answering (no breaker) — mapped back to a typed
+// version-mismatch error when it carries the refusal prefix.
+func (p *peerConn) splitOnce(ctx context.Context, done <-chan struct{}, cfg SupervisorConfig, payload []byte) (PredictResult, time.Duration, time.Duration, error) {
+	mc, _, err := p.muxEnsure(cfg)
+	if err != nil {
+		p.recordFailure()
+		return PredictResult{}, 0, 0, err
+	}
+	p.counter("split.requests").Inc()
+	r, rtt, err := mc.roundTripTyped(ctx, MsgSplitPredict, payload, p.muxTimeout(), done)
+	if err != nil {
+		// Link faults fed the breaker via muxLinkDown; a caller abort or a
+		// pre-mux downgrade did not. Either way this attempt is over.
+		return PredictResult{}, rtt, 0, err
+	}
+	p.markMuxProven()
+	if r.typ == MsgErrorMux {
+		return PredictResult{}, rtt, 0, splitErrorFromText(string(r.payload))
+	}
+	res, rest, derr := decodeSplitResultRest(r.payload)
+	if derr != nil {
+		mc.fail(derr)
+		return PredictResult{}, rtt, 0, derr
+	}
+	compute, _ := extractComputeTime(rest)
+	p.recordSuccess()
+	// Separate series from the whole-query "rtt"/"compute" histograms: split
+	// round trips carry different byte/FLOP mixes, and mixing them would
+	// pollute the hedge policy's rtt-p95 seeding.
+	p.observe("split.rtt", rtt)
+	if compute > 0 {
+		p.observe("split.compute", compute)
+	}
+	return res, rtt, compute, nil
+}

@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+// splitZooSpecs mirrors the nn package's range-test zoo: every model family
+// the paper evaluates, at test-scale geometry.
+func splitZooSpecs(t *testing.T) []nn.Spec {
+	t.Helper()
+	specs := []nn.Spec{nn.DigitsBaseline(64, 10)}
+	for _, k := range []int{2, 4} {
+		s, err := nn.DigitsExpert(k, 64, 10)
+		if err != nil {
+			t.Fatalf("DigitsExpert(%d): %v", k, err)
+		}
+		specs = append(specs, s)
+	}
+	specs = append(specs, nn.ObjectsBaseline(3, 8, 8, 10))
+	for _, k := range []int{2, 4} {
+		s, err := nn.ObjectsExpert(k, 3, 8, 8, 10)
+		if err != nil {
+			t.Fatalf("ObjectsExpert(%d): %v", k, err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+func splitSpecInput(s nn.Spec) int {
+	if s.MLP != nil {
+		return s.MLP.Input
+	}
+	return s.Shake.InC * s.Shake.InH * s.Shake.InW
+}
+
+// buildSplitSnapshot compiles one zoo spec with populated batch-norm
+// statistics and returns the snapshot plus a matching input batch.
+func buildSplitSnapshot(t *testing.T, spec nn.Spec, seed int64, batch int) (*nn.Snapshot, *tensor.Tensor) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	net, err := spec.Build(rng)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Label(), err)
+	}
+	x := rng.Randn(batch, splitSpecInput(spec))
+	net.Forward(x, true) // populate batch-norm running statistics
+	return nn.MustSnapshot(net), x
+}
+
+func assertBitIdentical(t *testing.T, label string, got, want *tensor.Tensor, gotEnt, wantEnt []float64) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: probs size %d != %d", label, len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: probs[%d] differ: %g vs %g", label, i, got.Data[i], want.Data[i])
+		}
+	}
+	if len(gotEnt) != len(wantEnt) {
+		t.Fatalf("%s: entropy size %d != %d", label, len(gotEnt), len(wantEnt))
+	}
+	for i := range gotEnt {
+		if math.Float64bits(gotEnt[i]) != math.Float64bits(wantEnt[i]) {
+			t.Fatalf("%s: entropy[%d] differ: %g vs %g", label, i, gotEnt[i], wantEnt[i])
+		}
+	}
+}
+
+// TestInferSplitBitExactEveryZooModel pins the acceptance property: head
+// local + tail remote over real TCP is bit-identical to the full local
+// forward, for every zoo model. The first model sweeps every boundary; the
+// rest check the endpoints and the midpoint (the full per-boundary sweep
+// lives in the nn package's range test — here the wire is under test).
+func TestInferSplitBitExactEveryZooModel(t *testing.T) {
+	for i, spec := range splitZooSpecs(t) {
+		snap, x := buildSplitSnapshot(t, spec, int64(20+i), 3)
+		w := NewWorkerSnapshot(snap, 1)
+		addr, err := w.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMaster(nil, 10)
+		m.SwapLocal(snap)
+		if err := m.Connect(addr); err != nil {
+			t.Fatal(err)
+		}
+
+		wantProbs, wantEnt := snap.PredictWithEntropy(x)
+		n := snap.Steps()
+		boundaries := []int{0, n / 2, n}
+		if i == 0 {
+			boundaries = boundaries[:0]
+			for s := 0; s <= n; s++ {
+				boundaries = append(boundaries, s)
+			}
+		}
+		for _, s := range boundaries {
+			res, err := m.InferSplit(x, s)
+			if err != nil {
+				t.Fatalf("%s split %d: %v", spec.Label(), s, err)
+			}
+			if res.Fallback != "" {
+				t.Fatalf("%s split %d: unexpected fallback %q", spec.Label(), s, res.Fallback)
+			}
+			if res.Split != s {
+				t.Fatalf("%s: executed split %d, asked %d", spec.Label(), res.Split, s)
+			}
+			if s < n && res.Peer != addr {
+				t.Fatalf("%s split %d: peer %q, want %q", spec.Label(), s, res.Peer, addr)
+			}
+			if s == n && res.Peer != "" {
+				t.Fatalf("%s split %d: whole-local answer credited to peer %q", spec.Label(), s, res.Peer)
+			}
+			assertBitIdentical(t, spec.Label(), res.Probs, wantProbs, res.Entropy, wantEnt.Data)
+		}
+		m.Close()
+		w.Close()
+	}
+}
+
+// TestInferSplitVersionMismatchFallsBackWholeQuery pins the mid-rollout
+// degradation: a peer serving a different model version refuses the tail
+// and the master re-sends the whole query instead — a valid whole-model
+// answer, never a wrong-model tail.
+func TestInferSplitVersionMismatchFallsBackWholeQuery(t *testing.T) {
+	snap, x := buildSplitSnapshot(t, nn.DigitsBaseline(64, 10), 31, 2)
+	w := NewWorkerSnapshot(snap, 1)
+	w.SetModelVersion("v2")
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	m := NewMaster(nil, 10)
+	defer m.Close()
+	m.SwapLocal(snap)
+	m.SetModelVersion("v1")
+	if err := m.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := m.InferSplit(x, snap.Steps()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != "version" {
+		t.Fatalf("fallback = %q, want version", res.Fallback)
+	}
+	if res.Peer != addr {
+		t.Fatalf("whole-query fallback peer = %q, want %q", res.Peer, addr)
+	}
+	// The whole-query path quantizes the input to float32, so the answer is
+	// close to — not bitwise equal to — the local forward.
+	wantProbs, _ := snap.PredictWithEntropy(x)
+	if !res.Probs.AllClose(wantProbs, 1e-4) {
+		t.Fatal("whole-query fallback answer diverged from the model")
+	}
+	if m.Counters().Counter("split.fallback.version").Value() != 1 {
+		t.Fatal("version fallback not counted")
+	}
+}
+
+// TestInferSplitTransportFaultFinishesLocally pins the fault degradation:
+// the peer dying mid-rollout costs a local tail, never a failed query, and
+// the answer stays bit-identical.
+func TestInferSplitTransportFaultFinishesLocally(t *testing.T) {
+	snap, x := buildSplitSnapshot(t, nn.DigitsBaseline(64, 10), 37, 2)
+	w := NewWorkerSnapshot(snap, 1)
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaster(nil, 10)
+	defer m.Close()
+	m.SwapLocal(snap)
+	if err := m.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // peer dies after the dial: the split round trip must fault
+
+	res, err := m.InferSplit(x, snap.Steps()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != "transport" {
+		t.Fatalf("fallback = %q, want transport", res.Fallback)
+	}
+	wantProbs, wantEnt := snap.PredictWithEntropy(x)
+	assertBitIdentical(t, "transport fallback", res.Probs, wantProbs, res.Entropy, wantEnt.Data)
+}
+
+// TestInferSplitNoPeerRunsLocal pins the loneliest degradation: no peers at
+// all means a plain local forward, flagged as such.
+func TestInferSplitNoPeerRunsLocal(t *testing.T) {
+	snap, x := buildSplitSnapshot(t, nn.DigitsBaseline(64, 10), 41, 2)
+	m := NewMaster(nil, 10)
+	defer m.Close()
+	m.SwapLocal(snap)
+
+	res, err := m.InferSplit(x, snap.Steps()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != "no_peer" {
+		t.Fatalf("fallback = %q, want no_peer", res.Fallback)
+	}
+	wantProbs, wantEnt := snap.PredictWithEntropy(x)
+	assertBitIdentical(t, "no-peer fallback", res.Probs, wantProbs, res.Entropy, wantEnt.Data)
+
+	// A pure coordinator cannot split at all.
+	bare := NewMaster(nil, 10)
+	defer bare.Close()
+	if _, err := bare.InferSplit(x, 0); err == nil {
+		t.Fatal("split without a local expert succeeded")
+	}
+}
+
+// TestMasterServerServesSplitFrames pins that the fabric listener answers
+// MsgSplitPredict from its master's local expert — a master can offload
+// tails to another master, not just to workers.
+func TestMasterServerServesSplitFrames(t *testing.T) {
+	snap, x := buildSplitSnapshot(t, nn.DigitsBaseline(64, 10), 43, 2)
+	remote := NewMaster(nil, 10)
+	defer remote.Close()
+	remote.SwapLocal(snap)
+	srv := NewMasterServer(remote, 2)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := NewMaster(nil, 10)
+	defer m.Close()
+	m.SwapLocal(snap)
+	if err := m.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	s := snap.Steps() / 2
+	res, err := m.InferSplit(x, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != "" || res.Peer != addr {
+		t.Fatalf("fallback %q peer %q, want clean remote tail via %q", res.Fallback, res.Peer, addr)
+	}
+	wantProbs, wantEnt := snap.PredictWithEntropy(x)
+	assertBitIdentical(t, "master-served tail", res.Probs, wantProbs, res.Entropy, wantEnt.Data)
+}
+
+// TestInferSplitAutoPlans drives the auto path end to end: EnableSplit,
+// several queries (the first is the planner's probe of the unmeasured
+// peer), every answer bit-identical, and the plan report becomes available
+// with measured peer costs.
+func TestInferSplitAutoPlans(t *testing.T) {
+	snap, x := buildSplitSnapshot(t, nn.DigitsBaseline(64, 10), 47, 2)
+	w := NewWorkerSnapshot(snap, 1)
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	m := NewMaster(nil, 10)
+	defer m.Close()
+	m.SwapLocal(snap)
+	if err := m.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.InferSplit(x, SplitAuto); err == nil {
+		t.Fatal("auto split before EnableSplit succeeded")
+	}
+	if err := m.EnableSplit(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	wantProbs, wantEnt := snap.PredictWithEntropy(x)
+	for i := 0; i < 5; i++ {
+		res, err := m.InferSplit(x, SplitAuto)
+		if err != nil {
+			t.Fatalf("auto query %d: %v", i, err)
+		}
+		if res.Fallback != "" {
+			t.Fatalf("auto query %d: fallback %q", i, res.Fallback)
+		}
+		assertBitIdentical(t, "auto", res.Probs, wantProbs, res.Entropy, wantEnt.Data)
+	}
+	if m.Counters().Counter("split.explore").Value() == 0 {
+		t.Fatal("unmeasured peer was never probed")
+	}
+	rep := m.SplitPlanReport(2)
+	if rep == nil {
+		t.Fatal("no plan report after EnableSplit")
+	}
+	if len(rep.Peers) != 1 || !rep.Peers[0].Measured {
+		t.Fatalf("plan report peers = %+v, want one measured peer", rep.Peers)
+	}
+	if !rep.LocalReady {
+		t.Fatal("local estimator never fed")
+	}
+}
+
+// TestInferAdaptiveSplitEscalates pins the two-tier composition: the split
+// answer feeds the same entropy gate as InferAdaptive, so threshold 0
+// escalates everything and a ln(classes) threshold escalates nothing.
+func TestInferAdaptiveSplitEscalates(t *testing.T) {
+	snap, x := buildSplitSnapshot(t, nn.DigitsBaseline(64, 10), 53, 3)
+	w := NewWorkerSnapshot(snap, 1)
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	m := NewMaster(nil, 10)
+	defer m.Close()
+	m.SwapLocal(snap)
+	if err := m.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableSplit(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	never, err := m.InferAdaptiveSplitContext(context.Background(), x, math.Log(10)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, esc := range never.Escalated {
+		if esc {
+			t.Fatalf("sample %d escalated above the max-entropy threshold", b)
+		}
+	}
+	wantProbs, _ := snap.PredictWithEntropy(x)
+	for i := range never.Probs.Data {
+		if math.Float64bits(never.Probs.Data[i]) != math.Float64bits(wantProbs.Data[i]) {
+			t.Fatalf("adaptive split local tier: probs[%d] differ", i)
+		}
+	}
+
+	always, err := m.InferAdaptiveSplitContext(context.Background(), x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, esc := range always.Escalated {
+		if !esc {
+			t.Fatalf("sample %d not escalated at threshold 0", b)
+		}
+	}
+}
+
+// TestSplitWireBytesMatchEncoding pins the planner's byte model against the
+// real codecs.
+func TestSplitWireBytesMatchEncoding(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	act := rng.Randn(4, 33)
+	req := SplitRequest{Version: "v1.2", Split: 5, X: act}
+	if got, want := SplitRequestWireBytes(4, 33, len("v1.2")), len(EncodeSplitRequest(req)); got != want {
+		t.Fatalf("SplitRequestWireBytes = %d, encoded = %d", got, want)
+	}
+	res := PredictResult{Probs: rng.RandUniform(0, 1, 4, 10), Entropy: make([]float64, 4)}
+	if got, want := SplitResultWireBytes(4, 10), len(encodeSplitResult(res)); got != want {
+		t.Fatalf("SplitResultWireBytes = %d, encoded = %d", got, want)
+	}
+}
+
+// TestEscalationRateContextCancel pins the satellite: the context-aware
+// escalation sweep aborts on a cancelled ctx, and the ctx-free wrapper
+// matches it.
+func TestEscalationRateContextCancel(t *testing.T) {
+	snap, x := buildSplitSnapshot(t, nn.DigitsBaseline(64, 10), 59, 4)
+	m := NewMaster(nil, 10)
+	defer m.Close()
+	m.SwapLocal(snap)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.EscalationRateContext(ctx, x, 0.5); err == nil {
+		t.Fatal("cancelled escalation sweep succeeded")
+	}
+	want, err := m.EscalationRateContext(context.Background(), x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EscalationRate(x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EscalationRate %g != EscalationRateContext %g", got, want)
+	}
+}

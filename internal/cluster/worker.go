@@ -262,6 +262,34 @@ func (w *Worker) serveConn(conn net.Conn) {
 				}()
 				w.serveMuxPredict(cw, id, body)
 			}()
+		case MsgSplitPredict:
+			w.counters.Counter("requests").Inc()
+			w.counters.Counter("requests.split").Inc()
+			id, body, err := splitMuxID(payload)
+			if err != nil {
+				_ = cw.write(MsgError, []byte(err.Error()))
+				return
+			}
+			// Same dispatch discipline as MsgPredictMux: split tails share the
+			// connection's handler window and write lock with query traffic.
+			sem <- struct{}{}
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				defer func() { <-sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						w.counters.Counter("panics.recovered").Inc()
+						conn.Close()
+					}
+				}()
+				result, errText := runSplitBody(w.snap.Load(), w.ModelVersion(), body, w.tracer, w.hists)
+				if errText != "" {
+					_ = cw.write(MsgErrorMux, appendMuxID(id, []byte(errText)))
+					return
+				}
+				_ = cw.write(MsgSplitResult, appendMuxID(id, result))
+			}()
 		case MsgPing:
 			if err := cw.write(MsgPong, nil); err != nil {
 				return

@@ -24,7 +24,9 @@ import (
 type Snapshot struct {
 	label  string
 	steps  []inferStep
-	arenas sync.Pool // *arena
+	widths []int       // activation width at each step boundary (len steps+1)
+	costs  []LayerCost // static per-step profile, computed once at build
+	arenas sync.Pool   // *arena
 }
 
 // NewSnapshot compiles n into a frozen snapshot. It returns an error if the
@@ -39,6 +41,7 @@ func NewSnapshot(n *Network) (*Snapshot, error) {
 		return nil, err
 	}
 	s := &Snapshot{label: n.label, steps: steps}
+	s.widths, s.costs = profileSteps(steps)
 	s.arenas.New = func() any { return &arena{} }
 	return s, nil
 }

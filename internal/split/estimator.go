@@ -1,0 +1,56 @@
+package split
+
+// estimator is a decaying least-squares fit of y = base + slope·x, the
+// planner's uniform cost model: link cost (x = wire bytes, base = latency,
+// slope = 1/bandwidth), peer compute (x = FLOPs, base = dispatch/launch
+// overhead, slope = 1/throughput — exactly the edgesim GPU shape) and local
+// compute. Old observations decay geometrically so the fit tracks drifting
+// links without a window buffer.
+type estimator struct {
+	n, sx, sy, sxx, sxy float64
+}
+
+// estimatorDecay is the per-observation geometric decay; ~0.98 keeps an
+// effective window of about 50 samples.
+const estimatorDecay = 0.98
+
+func (e *estimator) observe(x, y float64) {
+	e.n *= estimatorDecay
+	e.sx *= estimatorDecay
+	e.sy *= estimatorDecay
+	e.sxx *= estimatorDecay
+	e.sxy *= estimatorDecay
+	e.n++
+	e.sx += x
+	e.sy += y
+	e.sxx += x * x
+	e.sxy += x * y
+}
+
+func (e *estimator) ready() bool { return e.n > 0 }
+
+// predict returns the fitted cost at x, clamped to a physical model
+// (non-negative base and slope). With no spread in x — all observations at
+// one size — the fit degenerates to the mean observed y.
+func (e *estimator) predict(x float64) float64 {
+	if e.n <= 0 {
+		return 0
+	}
+	mean := e.sy / e.n
+	den := e.n*e.sxx - e.sx*e.sx
+	// Guard against a numerically-degenerate normal equation (all x equal,
+	// or nearly so relative to the magnitudes involved).
+	if den <= 1e-12*max(1, e.n*e.sxx) {
+		return mean
+	}
+	slope := (e.n*e.sxy - e.sx*e.sy) / den
+	base := (e.sy - slope*e.sx) / e.n
+	if slope < 0 {
+		slope = 0
+		base = mean
+	}
+	if base < 0 {
+		base = 0
+	}
+	return base + slope*x
+}

@@ -1,0 +1,205 @@
+package split
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/teamnet/teamnet/internal/nn"
+	"github.com/teamnet/teamnet/internal/tensor"
+)
+
+func testProfile(t *testing.T) Profile {
+	t.Helper()
+	net, err := nn.DigitsBaseline(64, 10).Build(tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProfile(nn.MustSnapshot(net))
+}
+
+func TestNewProfileShape(t *testing.T) {
+	p := testProfile(t)
+	if p.Model != "MLP-8" {
+		t.Fatalf("model %q", p.Model)
+	}
+	if len(p.Boundaries) != p.Steps()+1 {
+		t.Fatalf("%d boundaries for %d steps", len(p.Boundaries), p.Steps())
+	}
+	if p.Boundaries[0].HeadFLOPs != 0 || p.Boundaries[0].TailFLOPs != p.TotalFLOPs {
+		t.Fatalf("boundary 0 not whole-remote: %+v", p.Boundaries[0])
+	}
+	last := p.Boundaries[p.Steps()]
+	if last.TailFLOPs != 0 || last.HeadFLOPs != p.TotalFLOPs {
+		t.Fatalf("boundary N not whole-local: %+v", last)
+	}
+	for i, b := range p.Boundaries {
+		if b.Index != i {
+			t.Fatalf("boundary %d has index %d", i, b.Index)
+		}
+		if math.Abs(b.HeadFLOPs+b.TailFLOPs-p.TotalFLOPs) > 1e-6 {
+			t.Fatalf("boundary %d flops don't sum: %+v", i, b)
+		}
+		if b.Width <= 0 {
+			t.Fatalf("boundary %d width %d", i, b.Width)
+		}
+	}
+	if p.Boundaries[0].Width != 64 {
+		t.Fatalf("input width %d", p.Boundaries[0].Width)
+	}
+}
+
+// TestEstimatorRecoversLinearModel feeds exact base+slope observations at
+// two sizes and checks predictions interpolate exactly — the property the
+// bench leans on for auto == argmin.
+func TestEstimatorRecoversLinearModel(t *testing.T) {
+	var e estimator
+	base, slope := 0.003, 2e-9
+	for _, x := range []float64{1e6, 4e6, 9e6} {
+		e.observe(x, base+slope*x)
+	}
+	for _, x := range []float64{0, 2e6, 16e6} {
+		want := base + slope*x
+		if got := e.predict(x); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("predict(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestEstimatorDegenerateFallsBackToMean(t *testing.T) {
+	var e estimator
+	e.observe(5, 2.0)
+	e.observe(5, 4.0)
+	// With no x spread the fit degenerates to the decay-weighted mean.
+	want := (estimatorDecay*2.0 + 4.0) / (estimatorDecay + 1)
+	if got := e.predict(100); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("degenerate predict = %g, want weighted mean %g", got, want)
+	}
+	var empty estimator
+	if empty.predict(10) != 0 || empty.ready() {
+		t.Fatal("empty estimator should predict 0 and not be ready")
+	}
+}
+
+func TestPlannerDefaultsWholeLocal(t *testing.T) {
+	p := New(testProfile(t), Options{})
+	d := p.Plan(1)
+	if d.Split != p.Profile().Steps() || d.Peer != "" {
+		t.Fatalf("unmeasured planner decided %+v, want whole-local", d)
+	}
+}
+
+// TestPlannerPicksCheapestBoundary builds a scenario with a hand-computable
+// optimum: a fast remote peer behind a link whose cost is proportional to
+// bytes, so the best cut is the narrowest boundary once compute dominates.
+func TestPlannerPicksCheapestBoundary(t *testing.T) {
+	prof := testProfile(t)
+	p := New(prof, Options{})
+	// Local device: 100 MFLOP/s. Feed two exact sizes so the fit is exact.
+	for _, f := range []float64{1e5, 4e5} {
+		p.ObserveLocal(f, time.Duration(f/100e6*1e9))
+	}
+	// Peer: 100 GFLOP/s, link 1ms + 1µs/KB.
+	linkSec := func(bytes int) float64 { return 1e-3 + float64(bytes)*1e-9 }
+	for _, f := range []float64{1e5, 4e5} {
+		bytes := int(f / 10)
+		p.ObservePeer("peer", f, time.Duration(f/100e9*1e9),
+			bytes, time.Duration(linkSec(bytes)*1e9))
+	}
+	d := p.Plan(1)
+	// Exhaustively recompute the argmin from the same inputs.
+	bestSec, bestSplit := math.Inf(1), -1
+	for _, b := range prof.Boundaries {
+		var sec float64
+		if b.Index == prof.Steps() {
+			sec = prof.TotalFLOPs / 100e6
+		} else {
+			wire := 8 * b.Width
+			sec = b.HeadFLOPs/100e6 + linkSec(wire) + b.TailFLOPs/100e9
+		}
+		if sec < bestSec {
+			bestSec, bestSplit = sec, b.Index
+		}
+	}
+	if d.Split != bestSplit {
+		t.Fatalf("planner chose split %d (%.6fs), argmin is %d (%.6fs)", d.Split, d.PredictedSec, bestSplit, bestSec)
+	}
+	if bestSplit == prof.Steps() {
+		t.Fatal("test scenario degenerate: argmin is whole-local, tune constants")
+	}
+	if math.Abs(d.PredictedSec-bestSec) > 1e-6 {
+		t.Fatalf("predicted %.9f != argmin cost %.9f", d.PredictedSec, bestSec)
+	}
+}
+
+func TestPlannerProbesUnmeasuredPeer(t *testing.T) {
+	p := New(testProfile(t), Options{ProbeEvery: time.Hour})
+	p.ObserveLocal(1e5, time.Millisecond)
+	p.SeedPeer("", 0, 0, 0, 0) // exercise the zero-value path
+	p.Forget("")
+	base := time.Unix(1000, 0)
+	p.haveNow = func() time.Time { return base }
+	p.peer("newpeer")
+	d := p.Decide(1)
+	if !d.Explore || d.Peer != "newpeer" || d.Split != 0 {
+		t.Fatalf("expected whole-remote probe, got %+v", d)
+	}
+	// Within ProbeEvery the probe must not repeat.
+	if d2 := p.Decide(1); d2.Explore {
+		t.Fatalf("probe not throttled: %+v", d2)
+	}
+	// Once the peer is measured, no more probes.
+	p.ObservePeer("newpeer", 1e5, time.Millisecond, 1000, time.Millisecond)
+	p.haveNow = func() time.Time { return base.Add(2 * time.Hour) }
+	if d3 := p.Decide(1); d3.Explore {
+		t.Fatalf("measured peer still probed: %+v", d3)
+	}
+}
+
+func TestSeedPeerDoesNotOverrideMeasurements(t *testing.T) {
+	p := New(testProfile(t), Options{})
+	p.ObservePeer("a", 1e6, time.Millisecond, 1000, time.Millisecond)
+	p.SeedPeer("a", 1e6, time.Hour, 1000, time.Hour) // must be ignored
+	p.mu.Lock()
+	got := p.peers["a"].comp.predict(1e6)
+	p.mu.Unlock()
+	if got > 1 {
+		t.Fatalf("seed overwrote measurement: %g", got)
+	}
+}
+
+func TestPlannerDecideCachesWithinReplan(t *testing.T) {
+	p := New(testProfile(t), Options{Replan: time.Hour})
+	base := time.Unix(1000, 0)
+	p.haveNow = func() time.Time { return base }
+	d1 := p.Decide(1)
+	p.ObserveLocal(1e5, time.Millisecond) // would change the plan...
+	if d2 := p.Decide(1); d2 != d1 {
+		t.Fatalf("plan not cached: %+v vs %+v", d2, d1)
+	}
+	p.haveNow = func() time.Time { return base.Add(2 * time.Hour) }
+	if d3 := p.Decide(1); d3.PredictedSec == 0 {
+		t.Fatalf("plan not recomputed after replan window: %+v", d3)
+	}
+}
+
+func TestReportListsAllCandidates(t *testing.T) {
+	p := New(testProfile(t), Options{})
+	p.ObserveLocal(1e5, time.Millisecond)
+	p.ObservePeer("peer", 1e5, time.Microsecond, 1000, time.Millisecond)
+	r := p.Report(2)
+	if r.Model != "MLP-8" || !r.LocalReady || r.Batch != 2 {
+		t.Fatalf("report header wrong: %+v", r)
+	}
+	if len(r.Peers) != 1 || len(r.Peers[0].Candidates) != p.Profile().Steps() {
+		t.Fatalf("candidate table wrong: %d peers", len(r.Peers))
+	}
+	for _, c := range r.Peers[0].Candidates {
+		if c.TotalSec != c.HeadSec+c.NetSec+c.TailSec {
+			t.Fatalf("candidate %d breakdown doesn't sum: %+v", c.Split, c)
+		}
+		if c.WireBytes <= 0 {
+			t.Fatalf("candidate %d wire bytes %d", c.Split, c.WireBytes)
+		}
+	}
+}

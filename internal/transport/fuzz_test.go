@@ -47,6 +47,31 @@ func FuzzDecodeTensor(f *testing.F) {
 	})
 }
 
+func FuzzDecodeTensor64(f *testing.F) {
+	for _, seed := range decodeTensor64Seeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, used, err := DecodeTensor64(data)
+		if err != nil {
+			return
+		}
+		if used > len(data) {
+			t.Fatalf("consumed %d of %d bytes", used, len(data))
+		}
+		elems := 1
+		for _, d := range got.Shape {
+			elems *= d
+		}
+		if elems != len(got.Data) {
+			t.Fatalf("shape product %d != data length %d", elems, len(got.Data))
+		}
+		if !bytes.Equal(EncodeTensor64(got), data[:used]) {
+			t.Fatal("tensor64 decode/encode not a retraction")
+		}
+	})
+}
+
 func FuzzDecodeFloats(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})

@@ -27,6 +27,21 @@ func decodeTensorSeeds() [][]byte {
 	}
 }
 
+func decodeTensor64Seeds() [][]byte {
+	return [][]byte{
+		{},
+		{0},
+		{1, 0, 0, 0, 4},
+		{2, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		// Shape-product overflow frames from the float32 decoder's history;
+		// the float64 guard (MaxFrameSize/8) must reject them identically.
+		{4, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0},
+		{3, 0, 64, 0, 0, 0, 64, 0, 0, 0, 64, 0, 0},
+		{1, 0xFF, 0xFF, 0xFF, 0xFF},
+		EncodeTensor64(tensor.NewRNG(1).Randn(2, 3)),
+	}
+}
+
 func decodeFloatsSeeds() [][]byte {
 	return [][]byte{
 		{},
@@ -83,6 +98,40 @@ func TestDecodeTensorRejectsOverflowShapes(t *testing.T) {
 	for i, data := range frames {
 		if _, _, err := DecodeTensor(data); err == nil {
 			t.Fatalf("frame %d: overflowing shape accepted", i)
+		}
+	}
+}
+
+func TestDecodeTensor64SeedCorpus(t *testing.T) {
+	for i, data := range decodeTensor64Seeds() {
+		got, used, err := DecodeTensor64(data)
+		if err != nil {
+			continue
+		}
+		if used > len(data) {
+			t.Fatalf("seed %d: consumed %d of %d bytes", i, used, len(data))
+		}
+		if !bytes.Equal(EncodeTensor64(got), data[:used]) {
+			t.Fatalf("seed %d: tensor64 decode/encode not a retraction", i)
+		}
+	}
+}
+
+// TestDecodeTensor64RoundTripExact pins full precision: the activation
+// codec must reproduce float64 payloads bit for bit (the property the split
+// contract's bit-identity rests on).
+func TestDecodeTensor64RoundTripExact(t *testing.T) {
+	want := tensor.NewRNG(9).Randn(3, 7)
+	got, used, err := DecodeTensor64(EncodeTensor64(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != Tensor64WireSize(want) {
+		t.Fatalf("used %d != wire size %d", used, Tensor64WireSize(want))
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: %v != %v", i, got.Data[i], want.Data[i])
 		}
 	}
 }
